@@ -1,0 +1,75 @@
+// Command xehe-bench regenerates every table and figure of the paper's
+// evaluation section from the simulated devices.
+//
+// Usage:
+//
+//	xehe-bench -fig all        # everything
+//	xehe-bench -fig 12         # one figure (5, 12, 13, 14a, 14b, 15, 16, 17, 18, 19)
+//	xehe-bench -tab 1          # Table I
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xehe/internal/fhebench"
+	"xehe/internal/gpu"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to reproduce: 5, 12, 13, 14a, 14b, 15, 16, 17, 18, 19, 'scaling' (multi-GPU extension), or 'all'")
+	tab := flag.String("tab", "", "table to reproduce: 1")
+	flag.Parse()
+
+	if *fig == "" && *tab == "" {
+		*fig = "all"
+	}
+
+	emit := func(name string, f func()) {
+		if *fig == "all" || *fig == name {
+			f()
+			fmt.Println()
+		}
+	}
+
+	if *tab == "1" || *fig == "all" {
+		fmt.Println(fhebench.Table1())
+	}
+	emit("5", func() {
+		fmt.Println(fhebench.Fig5(gpu.Device1Spec()))
+		fmt.Println(fhebench.Fig5(gpu.Device2Spec()))
+		fmt.Printf("average NTT share: Device1 %.2f%%, Device2 %.2f%% (paper: 79.99%% / 75.64%%)\n",
+			100*fhebench.Fig5Average(gpu.Device1Spec()), 100*fhebench.Fig5Average(gpu.Device2Spec()))
+	})
+	emit("12", func() {
+		for _, t := range fhebench.Fig12() {
+			fmt.Println(t)
+		}
+	})
+	emit("13", func() {
+		for _, t := range fhebench.Fig13() {
+			fmt.Println(t)
+		}
+	})
+	emit("14a", func() { fmt.Println(fhebench.Fig14a()) })
+	emit("14b", func() { fmt.Println(fhebench.Fig14b()) })
+	emit("15", func() { fmt.Println(fhebench.Fig15()) })
+	emit("16", func() { fmt.Println(fhebench.Fig16()) })
+	emit("17", func() { fmt.Println(fhebench.Fig17()) })
+	emit("18", func() { fmt.Println(fhebench.Fig18()) })
+	emit("19", func() {
+		fmt.Println(fhebench.Fig19(gpu.Device1Spec()))
+		fmt.Println(fhebench.Fig19(gpu.Device2Spec()))
+	})
+	emit("scaling", func() { fmt.Println(fhebench.ScalingStudy()) })
+
+	if *fig != "" && *fig != "all" {
+		switch *fig {
+		case "5", "12", "13", "14a", "14b", "15", "16", "17", "18", "19", "scaling":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+	}
+}

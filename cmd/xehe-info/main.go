@@ -1,0 +1,36 @@
+// Command xehe-info prints the simulated device inventories: compute
+// hierarchy, memory system, roofline knee, and ISA cost tables.
+package main
+
+import (
+	"fmt"
+
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+)
+
+func main() {
+	for _, spec := range []gpu.DeviceSpec{gpu.Device1Spec(), gpu.Device2Spec()} {
+		fmt.Printf("=== %s ===\n", spec.Name)
+		fmt.Printf("tiles: %d, EUs/tile: %d (%d subslices x %d EUs), %d threads/EU, SIMD-%d\n",
+			spec.Tiles, spec.EUsPerTile, spec.SubslicesPerTile(), spec.EUsPerSubslice,
+			spec.ThreadsPerEU, spec.SIMDWidth)
+		fmt.Printf("GRF: %d B/thread (%d reserved), SLM: %d KB/subslice\n",
+			spec.GRFBytesPerThread, spec.GRFReservedBytes, spec.SLMBytesPerSubslice>>10)
+		fmt.Printf("clock: %.2f GHz, int64 peak: %.0f GIOPS (device), %.0f GIOPS (tile)\n",
+			spec.ClockGHz, spec.PeakGIOPS(), spec.PeakSlotsPerCyclePerTile()*spec.ClockGHz)
+		fmt.Printf("DRAM: %.0f B/cycle/tile (%.0f GB/s), roofline knee: %.2f int64 op/byte\n",
+			spec.GlobalBytesPerCyclePerTile,
+			spec.GlobalBytesPerCyclePerTile*spec.ClockGHz,
+			spec.OperationalKnee())
+		fmt.Printf("overheads (cycles): launch %.0f, submit %.0f, sync %.0f, alloc %.0f\n",
+			spec.KernelLaunchCycles, spec.HostSubmitCycles, spec.HostSyncCycles, spec.AllocBaseCycles)
+		fmt.Println("ISA costs (slots):")
+		for _, cg := range []isa.CodeGen{isa.CompilerGenerated, isa.InlineASM} {
+			t := spec.Costs.Tables[cg]
+			fmt.Printf("  %-11s add_mod=%.1f mul64=%.1f mad_mod=%.1f mul_mod=%.1f\n",
+				cg, t.Cost(isa.OpAddMod), t.Cost(isa.OpMul64Lo), t.Cost(isa.OpMAdMod), t.Cost(isa.OpMulMod))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,82 @@
+// Batched NTT: runs every GPU NTT variant of the paper on a batch of
+// polynomials, verifies them against the serial reference, and prints
+// the simulated speedup ladder (the story of Figs. 12-14).
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+	"xehe/internal/ntt"
+	"xehe/internal/sycl"
+	"xehe/internal/xmath"
+)
+
+func main() {
+	const (
+		n     = 8192
+		rns   = 4
+		polys = 16
+	)
+	primes := xmath.GeneratePrimes(50, rns, n)
+	tbls := make([]*ntt.Tables, rns)
+	for i, p := range primes {
+		tbls[i] = ntt.NewTables(n, xmath.NewModulus(p))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	input := make([]uint64, polys*rns*n)
+	for p := 0; p < polys; p++ {
+		for q := 0; q < rns; q++ {
+			off := (p*rns + q) * n
+			for i := 0; i < n; i++ {
+				input[off+i] = rng.Uint64() % tbls[q].Modulus.Value
+			}
+		}
+	}
+	// Reference result.
+	want := append([]uint64(nil), input...)
+	for p := 0; p < polys; p++ {
+		for q := 0; q < rns; q++ {
+			off := (p*rns + q) * n
+			ntt.Forward(want[off:off+n], tbls[q])
+		}
+	}
+
+	fmt.Printf("batched negacyclic NTT: N=%d, RNS=%d, batch=%d\n\n", n, rns, polys)
+	fmt.Printf("%-16s %12s %14s %10s %8s\n", "variant", "sim cycles", "sim speedup", "wall", "correct")
+
+	var baseline float64
+	for _, v := range ntt.AllVariants() {
+		dev := gpu.NewDevice1()
+		qs := []*sycl.Queue{sycl.NewQueue(dev, isa.CompilerGenerated)}
+		data := append([]uint64(nil), input...)
+
+		start := time.Now()
+		evs := ntt.NewEngine(v).Forward(qs, data, polys, tbls)
+		wall := time.Since(start)
+
+		var end float64
+		for _, ev := range evs {
+			if ev.Done() > end {
+				end = ev.Done()
+			}
+		}
+		if v == ntt.NaiveRadix2 {
+			baseline = end
+		}
+		correct := true
+		for i := range data {
+			if data[i] != want[i] {
+				correct = false
+				break
+			}
+		}
+		fmt.Printf("%-16s %12.0f %13.2fx %10s %8v\n", v, end, baseline/end, wall.Round(time.Microsecond), correct)
+	}
+	fmt.Println("\n(simulated cycles come from the analytic device model; 'wall' is the real")
+	fmt.Println("Go execution time of the functional kernels on this host)")
+}

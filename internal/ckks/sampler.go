@@ -1,0 +1,78 @@
+package ckks
+
+import (
+	"math"
+	"math/rand"
+
+	"xehe/internal/poly"
+	"xehe/internal/xmath"
+)
+
+// Sampler draws the random polynomials the scheme needs: uniform ring
+// elements, ternary secrets, and discrete Gaussian errors (σ = 3.2,
+// the SEAL default). It is deterministic given a seed, which keeps the
+// reproduction's tests and benchmarks repeatable; a production library
+// would swap in crypto/rand.
+type Sampler struct {
+	rng   *rand.Rand
+	sigma float64
+}
+
+// NewSampler creates a sampler with the given seed.
+func NewSampler(seed int64) *Sampler {
+	return &Sampler{rng: rand.New(rand.NewSource(seed)), sigma: 3.2}
+}
+
+// UniformPoly fills a new polynomial with independent uniform residues.
+func (s *Sampler) UniformPoly(n int, moduli []xmath.Modulus) *poly.Poly {
+	p := poly.New(n, len(moduli))
+	for i, m := range moduli {
+		c := p.Coeffs[i]
+		for j := range c {
+			c[j] = s.rng.Uint64() % m.Value
+		}
+	}
+	return p
+}
+
+// TernaryPoly samples coefficients from {-1, 0, 1} and represents them
+// under every modulus.
+func (s *Sampler) TernaryPoly(n int, moduli []xmath.Modulus) *poly.Poly {
+	p := poly.New(n, len(moduli))
+	for j := 0; j < n; j++ {
+		t := s.rng.Intn(3) - 1 // -1, 0, 1
+		for i, m := range moduli {
+			switch t {
+			case 1:
+				p.Coeffs[i][j] = 1
+			case -1:
+				p.Coeffs[i][j] = m.Value - 1
+			}
+		}
+	}
+	return p
+}
+
+// GaussianPoly samples rounded Gaussian coefficients (σ=3.2, clamped
+// to ±6σ) represented under every modulus.
+func (s *Sampler) GaussianPoly(n int, moduli []xmath.Modulus) *poly.Poly {
+	p := poly.New(n, len(moduli))
+	bound := 6 * s.sigma
+	for j := 0; j < n; j++ {
+		g := s.rng.NormFloat64() * s.sigma
+		if g > bound {
+			g = bound
+		} else if g < -bound {
+			g = -bound
+		}
+		e := int64(math.Round(g))
+		for i, m := range moduli {
+			if e >= 0 {
+				p.Coeffs[i][j] = uint64(e)
+			} else {
+				p.Coeffs[i][j] = m.Value - uint64(-e)
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,87 @@
+package ckks
+
+import (
+	"bytes"
+	"math/cmplx"
+	"testing"
+)
+
+func TestCiphertextSerializationRoundTrip(t *testing.T) {
+	c := ctx(t)
+	vals := randomValues(c.params.Slots(), 50)
+	ct := c.encr.Encrypt(c.enc.Encode(vals, c.params.Scale, c.params.MaxLevel()))
+
+	var buf bytes.Buffer
+	if err := ct.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), ct.SerializedSize(); got != want {
+		t.Fatalf("serialized size = %d, want %d", got, want)
+	}
+	back, err := ReadCiphertext(&buf, c.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != ct.Level || back.Scale != ct.Scale || len(back.Value) != len(ct.Value) {
+		t.Fatal("header round trip mismatch")
+	}
+	got := c.enc.Decode(c.decr.Decrypt(back))
+	for i := range vals {
+		if cmplx.Abs(got[i]-vals[i]) > 1e-6 {
+			t.Fatalf("slot %d decodes to %v after round trip", i, got[i])
+		}
+	}
+}
+
+func TestSerializationAtLowerLevel(t *testing.T) {
+	c := ctx(t)
+	vals := randomValues(8, 51)
+	ct := c.eval.ModSwitch(c.encr.Encrypt(c.enc.Encode(vals, c.params.Scale, c.params.MaxLevel())))
+	var buf bytes.Buffer
+	if err := ct.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCiphertext(&buf, c.params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Level != ct.Level {
+		t.Fatalf("level = %d, want %d", back.Level, ct.Level)
+	}
+}
+
+func TestDeserializationRejectsCorruption(t *testing.T) {
+	c := ctx(t)
+	ct := c.encr.Encrypt(c.enc.Encode(randomValues(4, 52), c.params.Scale, c.params.MaxLevel()))
+	var buf bytes.Buffer
+	if err := ct.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xFF
+	if _, err := ReadCiphertext(bytes.NewReader(bad), c.params); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), good...)
+	bad[8] = 99
+	if _, err := ReadCiphertext(bytes.NewReader(bad), c.params); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Out-of-range residue (set a coefficient word to all-ones).
+	bad = append([]byte(nil), good...)
+	off := 6*8 + 8 // header + isNTT flag, first residue word
+	for i := 0; i < 8; i++ {
+		bad[off+i] = 0xFF
+	}
+	if _, err := ReadCiphertext(bytes.NewReader(bad), c.params); err == nil {
+		t.Error("out-of-range residue accepted")
+	}
+	// Truncated stream.
+	if _, err := ReadCiphertext(bytes.NewReader(good[:len(good)/2]), c.params); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"xehe/internal/ckks"
+	"xehe/internal/sycl"
+)
+
+// Operations used by the encrypted polynomial matrix-multiplication
+// application (Fig. 19): ciphertext elements arrive in coefficient
+// form, are transformed on the GPU, multiplied dyadically with
+// accumulation into a degree-2 accumulator, and transformed back.
+
+// NewZeroCt allocates a zeroed device ciphertext of the given degree.
+func (c *Context) NewZeroCt(degree, level int, scale float64, isNTT bool) *Ciphertext {
+	out := &ckks.Ciphertext{Scale: scale, Level: level}
+	var bufs []*sycl.Buffer
+	for i := 0; i <= degree; i++ {
+		p, buf := c.allocPoly(level + 1)
+		if !c.Cfg.Analytic {
+			clear(p.Data())
+		}
+		p.IsNTT = isNTT
+		out.Value = append(out.Value, p)
+		bufs = append(bufs, buf)
+	}
+	return wrap(out, bufs)
+}
+
+// FwdNTTCt transforms every polynomial of the ciphertext to the NTT
+// domain on the GPU.
+func (c *Context) FwdNTTCt(ct *Ciphertext) {
+	tbls := c.Params.TablesAt(ct.CT.Level)
+	for _, p := range ct.CT.Value {
+		c.fwdNTT(p, tbls)
+	}
+}
+
+// InvNTTCt transforms every polynomial back to coefficient form.
+func (c *Context) InvNTTCt(ct *Ciphertext) {
+	tbls := c.Params.TablesAt(ct.CT.Level)
+	for _, p := range ct.CT.Value {
+		c.invNTT(p, tbls)
+	}
+}
+
+// CloneCt duplicates a device ciphertext (fresh buffers).
+func (c *Context) CloneCt(ct *Ciphertext) *Ciphertext {
+	out := &ckks.Ciphertext{Scale: ct.CT.Scale, Level: ct.CT.Level}
+	var bufs []*sycl.Buffer
+	for _, p := range ct.CT.Value {
+		d, buf := c.allocPoly(p.Components())
+		if !c.Cfg.Analytic {
+			copy(d.Data(), p.Data())
+		}
+		d.IsNTT = p.IsNTT
+		out.Value = append(out.Value, d)
+		bufs = append(bufs, buf)
+	}
+	return wrap(out, bufs)
+}
+
+// MulAcc accumulates the tensor product of two degree-1 NTT-domain
+// ciphertexts into a degree-2 accumulator: acc += a ⊗ b. With the
+// mad_mod optimization each of the four products costs one fused
+// kernel; the baseline pays separate mul_mod and add_mod passes.
+func (c *Context) MulAcc(acc, a, b *Ciphertext) {
+	comps := acc.CT.Level + 1
+	c.madInto(acc.CT.Value[0], a.CT.Value[0], b.CT.Value[0], comps)
+	c.madInto(acc.CT.Value[1], a.CT.Value[0], b.CT.Value[1], comps)
+	c.madInto(acc.CT.Value[1], a.CT.Value[1], b.CT.Value[0], comps)
+	c.madInto(acc.CT.Value[2], a.CT.Value[1], b.CT.Value[1], comps)
+}
+
+// UploadCoeff uploads a host ciphertext and converts it to coefficient
+// form if needed (matrix elements are stored in coefficient form, as
+// serialized ciphertexts are).
+func (c *Context) UploadCoeff(ct *ckks.Ciphertext) *Ciphertext {
+	d := c.Upload(ct)
+	if ct.Value[0].IsNTT {
+		c.InvNTTCt(d)
+	}
+	return d
+}
+
+// FreeUnusedPoly exposes cache stats for ablations.
+func (c *Context) CacheStats() (hits, misses int64) { return c.Cache.Stats() }

@@ -1,0 +1,53 @@
+package core
+
+import "xehe/internal/ckks"
+
+// The five HE evaluation routines benchmarked in Figs. 5, 16 and 18.
+// Each frees its intermediate device ciphertexts through the memory
+// cache, so the cache ablation (Fig. 19) sees realistic reuse.
+
+// MulLin multiplies two ciphertexts and relinearizes the result.
+func (c *Context) MulLin(a, b *Ciphertext, rlk *ckks.RelinKey) *Ciphertext {
+	prod := c.Mul(a, b)
+	out := c.Relinearize(prod, rlk)
+	c.Free(prod)
+	return out
+}
+
+// MulLinRS multiplies, relinearizes and rescales.
+func (c *Context) MulLinRS(a, b *Ciphertext, rlk *ckks.RelinKey) *Ciphertext {
+	lin := c.MulLin(a, b, rlk)
+	out := c.Rescale(lin)
+	c.Free(lin)
+	return out
+}
+
+// SqrLinRS squares a ciphertext, relinearizes and rescales.
+func (c *Context) SqrLinRS(a *Ciphertext, rlk *ckks.RelinKey) *Ciphertext {
+	sq := c.Square(a)
+	lin := c.Relinearize(sq, rlk)
+	c.Free(sq)
+	out := c.Rescale(lin)
+	c.Free(lin)
+	return out
+}
+
+// MulLinRSModSwAdd multiplies, relinearizes, rescales, switches the
+// second operand down one level and adds it (Section IV-C).
+func (c *Context) MulLinRSModSwAdd(a, b, addend *Ciphertext, rlk *ckks.RelinKey) *Ciphertext {
+	rs := c.MulLinRS(a, b, rlk)
+	sw := c.ModSwitch(addend)
+	out := c.Add(rs, sw)
+	c.Free(rs)
+	c.Free(sw)
+	return out
+}
+
+// RotateRoutine cyclically rotates the plaintext vector (Fig. 5's
+// "Rotate").
+func (c *Context) RotateRoutine(a *Ciphertext, k int, gk *ckks.GaloisKey) *Ciphertext {
+	return c.Rotate(a, k, gk)
+}
+
+// RoutineNames lists the routines in the order the paper plots them.
+var RoutineNames = []string{"MulLin", "MulLinRS", "SqrLinRS", "MulLinRSModSwAdd", "Rotate"}

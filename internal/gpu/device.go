@@ -1,0 +1,257 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+
+	"xehe/internal/isa"
+)
+
+// Device is a simulated Intel GPU. It owns per-tile command timelines
+// and a simulated host clock, so fully asynchronous pipelines (Fig. 2)
+// can be timed: submissions advance only the host clock by the small
+// enqueue cost, kernels advance the tile timeline, and host/device
+// synchronization points advance the host clock to the device's.
+type Device struct {
+	Spec DeviceSpec
+
+	mu        sync.Mutex
+	tileTime  []Cycles // per-tile completion time of the last command
+	hostTime  Cycles
+	allocated int64 // live device bytes
+	peakAlloc int64
+	allocs    int64 // driver allocations performed (memcache bypasses)
+
+	traceOn bool
+	trace   []TraceEntry
+}
+
+// TraceEntry records one submitted command for profiling (Fig. 5's
+// NTT-vs-others breakdown).
+type TraceEntry struct {
+	Name   string
+	Cycles Cycles
+}
+
+// NewDevice creates a device from a spec.
+func NewDevice(spec DeviceSpec) *Device {
+	return &Device{Spec: spec, tileTime: make([]Cycles, spec.Tiles)}
+}
+
+// NewDevice1 and NewDevice2 build the two benchmark devices.
+func NewDevice1() *Device { return NewDevice(Device1Spec()) }
+func NewDevice2() *Device { return NewDevice(Device2Spec()) }
+
+// Reset clears all simulated clocks and allocation statistics.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := range d.tileTime {
+		d.tileTime[i] = 0
+	}
+	d.hostTime = 0
+	d.allocated = 0
+	d.peakAlloc = 0
+	d.allocs = 0
+}
+
+// HostTime returns the simulated host clock in device cycles.
+func (d *Device) HostTime() Cycles {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hostTime
+}
+
+// DeviceTime returns the completion time of the busiest tile.
+func (d *Device) DeviceTime() Cycles {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var m Cycles
+	for _, t := range d.tileTime {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// AdvanceHost adds host-side work (e.g. encode on CPU) to the clock.
+func (d *Device) AdvanceHost(c Cycles) {
+	d.mu.Lock()
+	d.hostTime += c
+	d.mu.Unlock()
+}
+
+// Seconds converts simulated cycles to seconds on this device.
+func (d *Device) Seconds(c Cycles) float64 { return c / (d.Spec.ClockGHz * 1e9) }
+
+// EnableTrace starts recording per-command durations.
+func (d *Device) EnableTrace() {
+	d.mu.Lock()
+	d.traceOn = true
+	d.trace = nil
+	d.mu.Unlock()
+}
+
+// Trace returns the recorded command log.
+func (d *Device) Trace() []TraceEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]TraceEntry(nil), d.trace...)
+}
+
+// AllocStats reports live/peak device memory and driver allocations.
+func (d *Device) AllocStats() (live, peak, count int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.allocated, d.peakAlloc, d.allocs
+}
+
+// RawMalloc models a driver allocation of size bytes: it costs
+// AllocBaseCycles + AllocPerKBCycles on the host timeline. The memory
+// cache (internal/memcache) exists precisely to avoid this cost on the
+// hot path (Fig. 11 / Fig. 19 "mem cache" step).
+func (d *Device) RawMalloc(size int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.allocs++
+	d.allocated += size
+	if d.allocated > d.peakAlloc {
+		d.peakAlloc = d.allocated
+	}
+	// Device allocations synchronize with the in-flight work (USM
+	// malloc drains the queue), so runtime allocation serializes the
+	// pipeline — exactly the overhead the memory cache removes.
+	for _, t := range d.tileTime {
+		if t > d.hostTime {
+			d.hostTime = t
+		}
+	}
+	d.hostTime += d.Spec.AllocBaseCycles + d.Spec.AllocPerKBCycles*float64(size>>10)
+}
+
+// RawFree models releasing a driver allocation (cheap).
+func (d *Device) RawFree(size int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.allocated -= size
+}
+
+// Event marks the completion of a submitted command on the simulated
+// timeline.
+type Event struct {
+	dev  *Device
+	done Cycles
+}
+
+// Done returns the simulated completion time.
+func (e Event) Done() Cycles { return e.done }
+
+// Wait blocks the simulated host until the event completes, paying the
+// host-device synchronization cost. This is the only place the
+// asynchronous pipeline of Fig. 2 stalls the host.
+func (e Event) Wait() {
+	if e.dev == nil {
+		return
+	}
+	e.dev.mu.Lock()
+	defer e.dev.mu.Unlock()
+	if e.done > e.dev.hostTime {
+		e.dev.hostTime = e.done
+	}
+	e.dev.hostTime += e.dev.Spec.HostSyncCycles
+}
+
+// Queue is an in-order command queue bound to one tile, mirroring a
+// SYCL in-order queue. Explicit multi-tile submission (Section III-C.2)
+// uses one Queue per tile.
+type Queue struct {
+	dev      *Device
+	tile     int
+	multiQ   bool // part of an explicit multi-queue set (pays the tax)
+	blocking bool // if true, every submission synchronizes the host
+	last     Event
+}
+
+// NewQueue creates an in-order queue on the given tile.
+func (d *Device) NewQueue(tile int) *Queue {
+	if tile < 0 || tile >= d.Spec.Tiles {
+		panic(fmt.Sprintf("gpu: tile %d out of range (device has %d)", tile, d.Spec.Tiles))
+	}
+	return &Queue{dev: d, tile: tile}
+}
+
+// NewQueues creates one queue per tile for explicit multi-tile
+// submission; each submission then pays the multi-queue tax.
+func (d *Device) NewQueues() []*Queue {
+	qs := make([]*Queue, d.Spec.Tiles)
+	for i := range qs {
+		qs[i] = d.NewQueue(i)
+		qs[i].multiQ = d.Spec.Tiles > 1
+	}
+	return qs
+}
+
+// SetBlocking makes every submission synchronize with the host — the
+// naive (non-asynchronous) pipeline used as the baseline in the
+// application-level ablations.
+func (q *Queue) SetBlocking(b bool) { q.blocking = b }
+
+// Tile returns the tile this queue is bound to.
+func (q *Queue) Tile() int { return q.tile }
+
+// Device returns the owning device.
+func (q *Queue) Device() *Device { return q.dev }
+
+// submit places a command of the given duration on the tile timeline
+// after deps, returning its completion event.
+func (q *Queue) submit(name string, dur Cycles, deps ...Event) Event {
+	d := q.dev
+	d.mu.Lock()
+	if d.traceOn {
+		d.trace = append(d.trace, TraceEntry{Name: name, Cycles: dur})
+	}
+	d.hostTime += d.Spec.HostSubmitCycles
+	start := d.tileTime[q.tile]
+	if d.hostTime > start {
+		start = d.hostTime // commands cannot start before enqueue
+	}
+	for _, dep := range deps {
+		if dep.done > start {
+			start = dep.done
+		}
+	}
+	if q.multiQ {
+		dur += d.Spec.MultiQueueTaxCycles
+	}
+	end := start + dur
+	d.tileTime[q.tile] = end
+	d.mu.Unlock()
+	ev := Event{dev: d, done: end}
+	q.last = ev
+	if q.blocking {
+		ev.Wait()
+	}
+	return ev
+}
+
+// SubmitProfile enqueues an analytic-only kernel (no functional body).
+func (q *Queue) SubmitProfile(p KernelProfile, cg isa.CodeGen, deps ...Event) Event {
+	return q.submit(p.Name, p.Time(&q.dev.Spec, cg, 1), deps...)
+}
+
+// CopyH2D enqueues a host-to-device transfer of n bytes.
+func (q *Queue) CopyH2D(n int64, deps ...Event) Event {
+	return q.submit("memcpy_h2d", float64(n)/q.dev.Spec.PCIeBytesPerCycle, deps...)
+}
+
+// CopyD2H enqueues a device-to-host transfer of n bytes.
+func (q *Queue) CopyD2H(n int64, deps ...Event) Event {
+	return q.submit("memcpy_d2h", float64(n)/q.dev.Spec.PCIeBytesPerCycle, deps...)
+}
+
+// Wait drains the queue (host waits for the last submitted command).
+func (q *Queue) Wait() { q.last.Wait() }
+
+// Last returns the most recently submitted event.
+func (q *Queue) Last() Event { return q.last }

@@ -1,0 +1,204 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+
+	"xehe/internal/isa"
+)
+
+// NDRange describes a kernel launch geometry, mirroring
+// sycl::nd_range<3>: a global range split into work-groups along the
+// innermost dimension (as the paper's kernels do: {poly, q_base, n/2}
+// with local size {1, 1, WORK_GROUP_SZ}).
+type NDRange struct {
+	Global [3]int
+	Local  int // work-group size along dimension 2; 0 = whole extent
+}
+
+// Items returns the total number of work-items.
+func (r NDRange) Items() int { return r.Global[0] * r.Global[1] * r.Global[2] }
+
+// GroupCtx is the execution context handed to a functional kernel for
+// one work-group. The kernel body iterates the group's items itself
+// (matching how a GPU work-group executes), with SLM shared across the
+// group and Barrier as a checkpoint marker.
+type GroupCtx struct {
+	// Group coordinates: P and Q index the outer two dimensions
+	// (polynomial and RNS modulus in NTT kernels); Group is the group
+	// index along dimension 2.
+	P, Q, Group int
+	// Base is the global index (dimension 2) of the group's first item.
+	Base int
+	// Size is the number of items in this group.
+	Size int
+
+	// SLM is the group's shared local memory, sized by the kernel.
+	SLM []uint64
+
+	barriers int
+}
+
+// Barrier records a work-group barrier. Functionally a no-op (the
+// simulator executes items sequentially within a group, so every
+// "earlier stage" is complete), but it is counted so the analytic
+// profile can price barrier drain costs.
+func (g *GroupCtx) Barrier() { g.barriers++ }
+
+// Kernel is a functional GPU kernel: a body executed per work-group
+// plus its analytic profile.
+type Kernel struct {
+	Name    string
+	Range   NDRange
+	SLMSize int // uint64 words of SLM per group (0 = none)
+	Body    func(g *GroupCtx)
+	Profile KernelProfile
+}
+
+// Launch executes the kernel functionally (real computation, groups
+// run concurrently on the host's cores) and enqueues its analytic cost
+// on the queue's tile timeline. It returns the completion event of the
+// simulated submission.
+func (q *Queue) Launch(k *Kernel, cg isa.CodeGen, deps ...Event) Event {
+	runGroups(k)
+	if k.Profile.Items == 0 {
+		k.Profile.Items = k.Range.Items()
+	}
+	if k.Profile.Name == "" {
+		k.Profile.Name = k.Name
+	}
+	return q.SubmitProfile(k.Profile, cg, deps...)
+}
+
+// LaunchSplit executes the kernel functionally once, but splits its
+// analytic cost evenly across the given queues (explicit multi-tile
+// submission through multiple queues, Section III-C.2). It returns the
+// events of all sub-submissions.
+func LaunchSplit(queues []*Queue, k *Kernel, cg isa.CodeGen, deps ...Event) []Event {
+	runGroups(k)
+	if k.Profile.Items == 0 {
+		k.Profile.Items = k.Range.Items()
+	}
+	if k.Profile.Name == "" {
+		k.Profile.Name = k.Name
+	}
+	n := len(queues)
+	// Each sub-submission carries 1/eff of the work, where eff is the
+	// sublinear effective tile count (see DeviceSpec.MultiTileScaling):
+	// the per-tile timelines then reproduce the paper's dual-tile
+	// scaling of +49.5%-78.2% rather than a perfect 2x.
+	spec := &queues[0].dev.Spec
+	eff := 1 + spec.MultiTileScaling*float64(n-1)
+	part := k.Profile
+	part.Items = int(float64(k.Profile.Items)/eff) + 1
+	part.GlobalBytes = k.Profile.GlobalBytes / eff
+	part.SLMBytes = k.Profile.SLMBytes / eff
+	evs := make([]Event, n)
+	for i, q := range queues {
+		evs[i] = q.SubmitProfile(part, cg, deps...)
+	}
+	return evs
+}
+
+// runGroups executes every work-group of the kernel on a worker pool.
+func runGroups(k *Kernel) {
+	if k.Body == nil {
+		return
+	}
+	g2 := k.Range.Global[2]
+	local := k.Range.Local
+	if local <= 0 || local > g2 {
+		local = g2
+	}
+	groupsPerRow := (g2 + local - 1) / local
+	total := k.Range.Global[0] * k.Range.Global[1] * groupsPerRow
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		ctx := GroupCtx{}
+		for idx := 0; idx < total; idx++ {
+			runOneGroup(k, &ctx, idx, groupsPerRow, local, g2)
+		}
+		return
+	}
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			ctx := GroupCtx{}
+			for {
+				mu.Lock()
+				idx := next
+				next++
+				mu.Unlock()
+				if int(idx) >= total {
+					return
+				}
+				runOneGroup(k, &ctx, int(idx), groupsPerRow, local, g2)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func runOneGroup(k *Kernel, ctx *GroupCtx, idx, groupsPerRow, local, g2 int) {
+	grp := idx % groupsPerRow
+	row := idx / groupsPerRow
+	q := row % k.Range.Global[1]
+	p := row / k.Range.Global[1]
+	base := grp * local
+	size := local
+	if base+size > g2 {
+		size = g2 - base
+	}
+	ctx.P, ctx.Q, ctx.Group, ctx.Base, ctx.Size = p, q, grp, base, size
+	ctx.barriers = 0
+	if k.SLMSize > 0 {
+		if cap(ctx.SLM) < k.SLMSize {
+			ctx.SLM = make([]uint64, k.SLMSize)
+		}
+		ctx.SLM = ctx.SLM[:k.SLMSize]
+	} else {
+		ctx.SLM = nil
+	}
+	k.Body(ctx)
+}
+
+// Subgroup emulates an Intel GPU SIMD subgroup for the SIMD-shuffling
+// NTT variants (Fig. 7/9): `width` lanes, each holding `slots*2`
+// register values.
+type Subgroup struct {
+	Width int
+	// Regs[lane][reg] mirrors the per-lane register file.
+	Regs [][]uint64
+}
+
+// NewSubgroup allocates a subgroup of the given width with regs
+// registers per lane.
+func NewSubgroup(width, regs int) *Subgroup {
+	sg := &Subgroup{Width: width, Regs: make([][]uint64, width)}
+	backing := make([]uint64, width*regs)
+	for l := range sg.Regs {
+		sg.Regs[l] = backing[l*regs : (l+1)*regs]
+	}
+	return sg
+}
+
+// Shuffle replaces register reg of every lane with the value of the
+// same register in lane srcLane(lane), emulating
+// sg.shuffle(data[reg], tgt_idx) from the paper's Fig. 9.
+func (sg *Subgroup) Shuffle(reg int, srcLane func(lane int) int) {
+	tmp := make([]uint64, sg.Width)
+	for l := 0; l < sg.Width; l++ {
+		tmp[l] = sg.Regs[srcLane(l)][reg]
+	}
+	for l := 0; l < sg.Width; l++ {
+		sg.Regs[l][reg] = tmp[l]
+	}
+}

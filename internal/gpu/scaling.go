@@ -1,0 +1,44 @@
+package gpu
+
+// Multi-tile / multi-GPU scaling extension. The paper's conclusion
+// names "extending our HE library to multi-GPU and heterogeneous
+// platforms" as future work; the simulator supports it directly by
+// instantiating devices with more tiles (a tile with its own queue is
+// the same abstraction as an additional GPU behind another queue, with
+// a lower marginal-scaling coefficient for the cross-device case).
+
+// ScaledSpec returns a copy of the spec with the given tile count and
+// marginal per-tile scaling (e.g. 0.72 for on-package tiles, lower for
+// discrete multi-GPU over PCIe).
+func ScaledSpec(base DeviceSpec, tiles int, scaling float64) DeviceSpec {
+	s := base
+	s.Name = base.Name + "-x" + itoaTiles(tiles)
+	s.Tiles = tiles
+	s.MultiTileScaling = scaling
+	return s
+}
+
+// MultiGPUSpec models a small cluster of Device1-class GPUs: each
+// "tile" is a whole GPU behind its own queue, with a lower marginal
+// scaling factor reflecting cross-device synchronization and the lack
+// of a shared L3.
+func MultiGPUSpec(gpus int) DeviceSpec {
+	s := ScaledSpec(Device1Spec(), gpus*Device1Spec().Tiles, 0.60)
+	s.Name = "MultiGPU-" + itoaTiles(gpus)
+	s.MultiQueueTaxCycles *= 2 // cross-device submission cost
+	return s
+}
+
+func itoaTiles(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

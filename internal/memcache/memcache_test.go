@@ -1,0 +1,147 @@
+package memcache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xehe/internal/gpu"
+	"xehe/internal/sycl"
+)
+
+func TestReuseAvoidsDriverAllocation(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	b1 := c.Malloc(1024)
+	c.Free(b1)
+	tBefore := d.HostTime()
+	b2 := c.Malloc(512) // fits in the 1024 free buffer
+	if d.HostTime() != tBefore {
+		t.Error("cache hit must not cost host time")
+	}
+	if b2 != b1 {
+		t.Error("cache must reuse the freed buffer")
+	}
+	if len(b2.Data) != 512 {
+		t.Errorf("reused buffer length = %d, want 512", len(b2.Data))
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits/%d misses, want 1/1", hits, misses)
+	}
+	if _, _, count := d.AllocStats(); count != 1 {
+		t.Errorf("driver allocations = %d, want 1", count)
+	}
+}
+
+func TestDisabledCachePassesThrough(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, false)
+	b := c.Malloc(256)
+	c.Free(b)
+	b2 := c.Malloc(256)
+	c.Free(b2)
+	if _, _, count := d.AllocStats(); count != 2 {
+		t.Errorf("driver allocations = %d, want 2 without cache", count)
+	}
+	if live, _, _ := d.AllocStats(); live != 0 {
+		t.Errorf("leak: %d live bytes", live)
+	}
+}
+
+func TestBestFitSelection(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	small := c.Malloc(100)
+	big := c.Malloc(10000)
+	c.Free(big)
+	c.Free(small)
+	// Request 50: must take the 100-cap buffer, not the 10000 one.
+	if got := c.Malloc(50); got != small {
+		t.Error("best fit must pick the smallest adequate free buffer")
+	}
+}
+
+func TestTooSmallFreeBufferIsSkipped(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	b := c.Malloc(100)
+	c.Free(b)
+	big := c.Malloc(200)
+	if big == b {
+		t.Error("cache returned an undersized buffer")
+	}
+	if c.FreeCount() != 1 {
+		t.Errorf("free pool size = %d, want 1 (the 100-word buffer)", c.FreeCount())
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	b := c.Malloc(64)
+	c.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	c.Free(b)
+}
+
+func TestRelease(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	for i := 0; i < 4; i++ {
+		c.Free(c.Malloc(128 << i))
+	}
+	if c.FreeCount() != 4 {
+		t.Fatalf("free pool = %d, want 4", c.FreeCount())
+	}
+	c.Release()
+	if c.FreeCount() != 0 {
+		t.Fatal("release did not drain the pool")
+	}
+	if live, _, _ := d.AllocStats(); live != 0 {
+		t.Fatalf("leak after release: %d bytes", live)
+	}
+}
+
+// Property: after any interleaving of mallocs and frees, every
+// checked-out buffer has adequate capacity, no buffer is handed out
+// twice concurrently, and the used count is consistent.
+func TestQuickCacheInvariants(t *testing.T) {
+	type rec struct {
+		buf  *sycl.Buffer
+		size int
+	}
+	prop := func(ops []uint16, seed int64) bool {
+		d := gpu.NewDevice1()
+		c := New(d, true)
+		rng := rand.New(rand.NewSource(seed))
+		var live []rec
+		for _, op := range ops {
+			size := int(op)%4096 + 1
+			if len(live) > 0 && rng.Intn(2) == 0 {
+				i := rng.Intn(len(live))
+				c.Free(live[i].buf)
+				live = append(live[:i], live[i+1:]...)
+				continue
+			}
+			b := c.Malloc(size)
+			if len(b.Data) < size {
+				return false
+			}
+			for _, l := range live {
+				if l.buf == b {
+					return false // same buffer handed out twice
+				}
+			}
+			live = append(live, rec{buf: b, size: size})
+		}
+		return c.UsedCount() == len(live)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

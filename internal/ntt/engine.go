@@ -1,0 +1,317 @@
+package ntt
+
+import (
+	"fmt"
+
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+	"xehe/internal/sycl"
+)
+
+// Variant selects one of the paper's GPU NTT implementations.
+type Variant int
+
+const (
+	// NaiveRadix2 is the baseline of Fig. 6: one global-memory kernel
+	// per butterfly stage plus a last-round reduction kernel.
+	NaiveRadix2 Variant = iota
+	// SIMD8x8, SIMD16x8, SIMD32x8 are the staged radix-2 variants of
+	// Section III-B.2/3/4: SLM for mid-size gaps, subgroup SIMD
+	// shuffling once the gap fits in TER_SIMD_GAP_SZ registers, with
+	// 1, 2 and 4 register slots per work-item respectively.
+	SIMD8x8
+	SIMD16x8
+	SIMD32x8
+	// LocalRadix4/8/16 are the high-radix register-blocked kernels of
+	// Section III-B.5 with SLM staging and fused last-round processing.
+	LocalRadix4
+	LocalRadix8
+	LocalRadix16
+)
+
+var variantNames = map[Variant]string{
+	NaiveRadix2: "naive", SIMD8x8: "SIMD(8,8)", SIMD16x8: "SIMD(16,8)",
+	SIMD32x8: "SIMD(32,8)", LocalRadix4: "local-radix-4",
+	LocalRadix8: "local-radix-8", LocalRadix16: "local-radix-16",
+}
+
+func (v Variant) String() string {
+	if s, ok := variantNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// Radix returns the butterfly radix of the variant (2 for the radix-2
+// families).
+func (v Variant) Radix() int {
+	switch v {
+	case LocalRadix4:
+		return 4
+	case LocalRadix8:
+		return 8
+	case LocalRadix16:
+		return 16
+	default:
+		return 2
+	}
+}
+
+// slots returns the register slots per work-item of SIMD variants.
+func (v Variant) slots() int {
+	switch v {
+	case SIMD16x8:
+		return 2
+	case SIMD32x8:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// AllVariants lists every implemented variant in the order the paper
+// introduces them.
+func AllVariants() []Variant {
+	return []Variant{NaiveRadix2, SIMD8x8, SIMD16x8, SIMD32x8, LocalRadix4, LocalRadix8, LocalRadix16}
+}
+
+// Architecture / calibration constants of the staged implementations.
+const (
+	// slmGroupElems is the NTT span assigned to one work-group's SLM
+	// (Section III-B.2: 4K elements per work-group, 32 KB of the 64 KB
+	// SLM).
+	slmGroupElems = 4096
+	// slmGapSize is TER_SLM_GAP_SZ: stages with exchange gap at or
+	// below this run out of SLM.
+	slmGapSize = slmGroupElems / 2
+	// simdWidth is the subgroup width of the SIMD shuffling kernels.
+	simdWidth = 8
+
+	// slmSendSlotsRadix2 is the issue-slot cost of one SLM access in
+	// the fine-grained gap-strided radix-2 exchange: a send instruction
+	// serialized by heavy (~16-way) bank conflicts at power-of-two
+	// strides. This is why the paper's SLM+SIMD radix-2 barely beats
+	// the naive kernel (+28%, Fig. 12) despite avoiding global memory.
+	slmSendSlotsRadix2 = 48.0
+	// slmSendSlotsHighRadix is the per-access cost of the high-radix
+	// kernels' r-element block transfers, which stream consecutive
+	// addresses and conflict little.
+	slmSendSlotsHighRadix = 1.5
+
+	// multiSlotPenalty scales the in-register data-exchange and
+	// register-pressure overhead of multi-slot SIMD variants, applied
+	// per stage per item as penalty*(slots-1)^2 issue slots: the
+	// "negative aspects [that] dominate the performance" making
+	// SIMD(16,8) and SIMD(32,8) lose to SIMD(8,8) (Section III-B.4).
+	multiSlotPenalty = 40.0
+)
+
+// otherOps is Table I's "other" (index/address) op count per work-item
+// per round, by radix.
+var otherOps = map[int]float64{2: 20, 4: 45, 8: 120, 16: 260}
+
+// butterfliesPerItem returns how many 2-point butterflies one
+// work-item of a radix-r round performs: (r/2)·log2(r).
+func butterfliesPerItem(r int) int {
+	n := 0
+	for w := r; w > 1; w >>= 1 {
+		n += r / 2
+	}
+	return n
+}
+
+// RoundOps returns Table I's per-work-item per-round op counts
+// (other, butterfly, total) for the given radix.
+func RoundOps(r int) (other, butterfly, total float64) {
+	other = otherOps[r]
+	butterfly = float64(butterfliesPerItem(r)) * 28
+	return other, butterfly, other + butterfly
+}
+
+// roundProfile builds the per-item ISA profile of one radix-r round.
+func roundProfile(r int) isa.Profile {
+	var p isa.Profile
+	p.AddProfile(isa.ButterflyProfile(), float64(butterfliesPerItem(r)))
+	p.Add(isa.OpIndex, otherOps[r])
+	return p
+}
+
+// Engine executes batched negacyclic NTTs of one variant on the
+// simulated GPU. A batch is polys × len(tbls) independent transforms
+// laid out contiguously: slice (p, q) starts at (p*len(tbls)+q)*N.
+type Engine struct {
+	V Variant
+	// Analytic skips the functional kernel bodies and only accounts
+	// simulated time — used by the paper-scale parameter sweeps
+	// (e.g. 32K-point, 1024-instance batches) where functional
+	// execution is pointless and data may be nil.
+	Analytic bool
+}
+
+// NewEngine returns an engine for the variant.
+func NewEngine(v Variant) *Engine { return &Engine{V: v} }
+
+// NewAnalyticEngine returns an engine that only simulates timing.
+func NewAnalyticEngine(v Variant) *Engine { return &Engine{V: v, Analytic: true} }
+
+// Forward runs forward NTTs over the batch on the given queues
+// (len(qs) > 1 = explicit multi-tile submission) and returns the final
+// events.
+func (e *Engine) Forward(qs []*sycl.Queue, data []uint64, polys int, tbls []*Tables, deps ...gpu.Event) []gpu.Event {
+	return e.run(qs, data, polys, tbls, true, deps)
+}
+
+// Inverse runs inverse NTTs over the batch (including the n^{-1}
+// scaling and final reduction).
+func (e *Engine) Inverse(qs []*sycl.Queue, data []uint64, polys int, tbls []*Tables, deps ...gpu.Event) []gpu.Event {
+	return e.run(qs, data, polys, tbls, false, deps)
+}
+
+// round describes one scheduled kernel phase.
+type round struct {
+	w      int  // stages covered (radix 2^w)
+	global bool // exchanges through global memory (vs SLM kernel)
+}
+
+// schedule plans the rounds of a transform of logN stages.
+//
+// Forward: global rounds while the exchange gap exceeds TER_SLM_GAP_SZ,
+// then SLM rounds (the whole SLM phase is one kernel). Inverse mirrors
+// it: SLM rounds first (small gaps), then global rounds.
+func (e *Engine) schedule(n int, forward bool) []round {
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	w := 1
+	switch e.V {
+	case LocalRadix4:
+		w = 2
+	case LocalRadix8:
+		w = 3
+	case LocalRadix16:
+		w = 4
+	}
+	// Number of trailing stages that fit in an SLM group.
+	slmStages := logN
+	if n > slmGroupElems {
+		logGroup := 0
+		for 1<<logGroup < slmGroupElems {
+			logGroup++
+		}
+		slmStages = logGroup
+	}
+	globalStages := logN - slmStages
+
+	plan := func(stages int, global bool) []round {
+		var rs []round
+		for stages > 0 {
+			take := w
+			if take > stages {
+				take = stages
+			}
+			rs = append(rs, round{w: take, global: global})
+			stages -= take
+		}
+		return rs
+	}
+	if forward {
+		return append(plan(globalStages, true), plan(slmStages, false)...)
+	}
+	return append(plan(slmStages, false), plan(globalStages, true)...)
+}
+
+// BuildKernels constructs the kernel sequence of one batched transform
+// without launching it, so harnesses can inspect or price the plan.
+func (e *Engine) BuildKernels(data []uint64, polys int, tbls []*Tables, forward bool) []*sycl.Kernel {
+	if len(tbls) == 0 || polys == 0 {
+		return nil
+	}
+	n := tbls[0].N
+	qCount := len(tbls)
+	if !e.Analytic && len(data) < polys*qCount*n {
+		panic("ntt: data slice too short for batch")
+	}
+	if e.V == NaiveRadix2 {
+		return e.buildNaive(data, polys, tbls, forward)
+	}
+
+	rounds := e.schedule(n, forward)
+	var kernels []*sycl.Kernel
+	stage := 0
+	if !forward {
+		stage = countStages(n)
+	}
+	// Group consecutive SLM rounds into a single kernel.
+	for i := 0; i < len(rounds); {
+		if rounds[i].global {
+			kernels = append(kernels, e.globalRoundKernel(data, polys, tbls, rounds[i].w, stage, forward))
+			if forward {
+				stage += rounds[i].w
+			} else {
+				stage -= rounds[i].w
+			}
+			i++
+			continue
+		}
+		j := i
+		var ws []int
+		for j < len(rounds) && !rounds[j].global {
+			ws = append(ws, rounds[j].w)
+			j++
+		}
+		kernels = append(kernels, e.slmKernel(data, polys, tbls, ws, stage, forward))
+		for _, w := range ws {
+			if forward {
+				stage += w
+			} else {
+				stage -= w
+			}
+		}
+		i = j
+	}
+	return kernels
+}
+
+// NominalOps returns the total nominal int64 ALU op count of one
+// batched transform under this variant's schedule — the numerator of
+// the paper's efficiency metric (each variant counts its own ops).
+func (e *Engine) NominalOps(spec *gpu.DeviceSpec, polys int, tbls []*Tables, forward bool) float64 {
+	save := e.Analytic
+	e.Analytic = true
+	defer func() { e.Analytic = save }()
+	var total float64
+	for _, k := range e.BuildKernels(nil, polys, tbls, forward) {
+		total += k.Profile.NominalOps(spec)
+	}
+	return total
+}
+
+// run schedules and launches the kernels of one batched transform.
+func (e *Engine) run(qs []*sycl.Queue, data []uint64, polys int, tbls []*Tables, forward bool, deps []gpu.Event) []gpu.Event {
+	evs := deps
+	for _, k := range e.BuildKernels(data, polys, tbls, forward) {
+		evs = launch(qs, k, evs)
+	}
+	return evs
+}
+
+func countStages(n int) int {
+	s := 0
+	for 1<<s < n {
+		s++
+	}
+	return s
+}
+
+// launch submits a kernel to one queue or splits it across several.
+func launch(qs []*sycl.Queue, k *sycl.Kernel, deps []gpu.Event) []gpu.Event {
+	if len(qs) == 1 {
+		return []gpu.Event{qs[0].Raw().Launch(k, qs[0].CodeGen(), deps...)}
+	}
+	raw := make([]*gpu.Queue, len(qs))
+	for i, q := range qs {
+		raw[i] = q.Raw()
+	}
+	return gpu.LaunchSplit(raw, k, qs[0].CodeGen(), deps...)
+}

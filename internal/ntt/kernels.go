@@ -1,0 +1,366 @@
+package ntt
+
+import (
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+	"xehe/internal/sycl"
+	"xehe/internal/xmath"
+)
+
+// applyRadixRound executes one forward radix-2^w round over view,
+// which covers blocks [blockBase, blockBase+len(view)/(2T)) of a full
+// transform at entry stage (m blocks, gap T). All w internal stages
+// run on register-resident data, exactly as the high-radix kernels of
+// Section III-B.5.
+func applyRadixRound(view []uint64, t *Tables, m, T, w, blockBase int) {
+	r := 1 << w
+	stride := T >> (w - 1)
+	p := t.Modulus.Value
+	twoP := 2 * p
+	nBlocks := len(view) / (2 * T)
+	var regs [16]uint64
+	for ib := 0; ib < nBlocks; ib++ {
+		i := blockBase + ib
+		bs := ib * 2 * T
+		for j := 0; j < stride; j++ {
+			base := bs + j
+			for k := 0; k < r; k++ {
+				regs[k] = view[base+k*stride]
+			}
+			for d := 0; d < w; d++ {
+				grp := r >> d
+				half := grp >> 1
+				for k0 := 0; k0 < r; k0 += grp {
+					g := k0 / grp
+					wop := t.Roots[(m<<d)+(i<<d)+g]
+					for k := k0; k < k0+half; k++ {
+						regs[k], regs[k+half] = xmath.HarveyButterfly(regs[k], regs[k+half], wop, p, twoP)
+					}
+				}
+			}
+			for k := 0; k < r; k++ {
+				view[base+k*stride] = regs[k]
+			}
+		}
+	}
+}
+
+// applyInvRadixRound executes one inverse (Gentleman–Sande) radix-2^w
+// round over view, covering spans [spanBase, ...) of r*t elements of a
+// transform whose first executed stage has GS loop parameters (m, t).
+func applyInvRadixRound(view []uint64, tbl *Tables, m, t, w, spanBase int) {
+	r := 1 << w
+	spanSize := r * t
+	p := tbl.Modulus.Value
+	twoP := 2 * p
+	nSpans := len(view) / spanSize
+	var regs [16]uint64
+	for is := 0; is < nSpans; is++ {
+		S := (spanBase + is) * spanSize
+		local := view[is*spanSize : (is+1)*spanSize]
+		for j := 0; j < t; j++ {
+			for k := 0; k < r; k++ {
+				regs[k] = local[j+k*t]
+			}
+			for d := 0; d < w; d++ {
+				dist := 1 << d
+				hStep := m >> (d + 1)
+				blockOff := S / ((2 << d) * t)
+				for k0 := 0; k0 < r; k0 += 2 * dist {
+					wop := tbl.InvRoots[hStep+blockOff+(k0>>(d+1))]
+					for k := k0; k < k0+dist; k++ {
+						regs[k], regs[k+dist] = xmath.GSButterfly(regs[k], regs[k+dist], wop, p, twoP)
+					}
+				}
+			}
+			for k := 0; k < r; k++ {
+				local[j+k*t] = regs[k]
+			}
+		}
+	}
+}
+
+// sliceOf returns the (p, q) slice of the batch.
+func sliceOf(data []uint64, p, q, qCount, n int) []uint64 {
+	off := (p*qCount + q) * n
+	return data[off : off+n]
+}
+
+// finalizeForward reduces lazy values to [0, p) (last round processing).
+func finalizeForward(x []uint64, p uint64) {
+	for i := range x {
+		x[i] = xmath.ReduceToRange(x[i], p)
+	}
+}
+
+// finalizeInverse applies the n^{-1} scaling and reduces to [0, p).
+func finalizeInverse(x []uint64, t *Tables) {
+	p := t.Modulus.Value
+	for i := range x {
+		v := t.NInv.MulModLazy(x[i], p)
+		if v >= p {
+			v -= p
+		}
+		x[i] = v
+	}
+}
+
+// globalRoundKernel builds the kernel of one radix-2^w round exchanged
+// through global memory. finalize fuses the last-round processing (only
+// used when a global round is the final inverse round).
+func (e *Engine) globalRoundKernel(data []uint64, polys int, tbls []*Tables, w, stage int, forward bool) *sycl.Kernel {
+	n := tbls[0].N
+	qCount := len(tbls)
+	r := 1 << w
+	isLast := !forward && stage-w == 0
+
+	body := func(g *gpu.GroupCtx) {
+		view := sliceOf(data, g.P, g.Q, qCount, n)
+		tbl := tbls[g.Q]
+		if forward {
+			applyRadixRound(view, tbl, 1<<stage, n>>(stage+1), w, 0)
+		} else {
+			applyInvRadixRound(view, tbl, 1<<stage, n>>stage, w, 0)
+			if isLast {
+				finalizeInverse(view, tbl)
+			}
+		}
+	}
+
+	if e.Analytic {
+		body = nil
+	}
+	items := polys * qCount * (n / r)
+	per := roundProfile(r)
+	if isLast {
+		per.Add(isa.OpMul64Lo, float64(r)) // fused n^{-1} scaling
+		per.Add(isa.OpAdd64, float64(r))
+	}
+	return &sycl.Kernel{
+		Name:  "ntt_global_radix" + itoa(r),
+		Range: gpu.NDRange{Global: [3]int{polys, qCount, n / r}, Local: n / r},
+		Body:  body,
+		Profile: gpu.KernelProfile{
+			Items:           items,
+			PerItem:         per,
+			GlobalBytes:     float64(items) * float64(2*r) * 8,
+			Pattern:         gpu.PatternUnitStride,
+			GRFBytesPerItem: 8 * (3*r - 2),
+		},
+	}
+}
+
+// slmKernel builds the single kernel that runs all SLM-resident rounds
+// (ws) of the transform, with SIMD-shuffle stages and last-round
+// processing fused as in Fig. 8.
+func (e *Engine) slmKernel(data []uint64, polys int, tbls []*Tables, ws []int, stage int, forward bool) *sycl.Kernel {
+	n := tbls[0].N
+	qCount := len(tbls)
+	groupElems := slmGroupElems
+	if n < groupElems {
+		groupElems = n
+	}
+	startStage := stage
+
+	body := func(g *gpu.GroupCtx) {
+		tbl := tbls[g.Q]
+		slice := sliceOf(data, g.P, g.Q, qCount, n)
+		g0 := g.Group * groupElems
+		slm := g.SLM[:groupElems]
+		copy(slm, slice[g0:g0+groupElems])
+		s := startStage
+		if forward {
+			for _, w := range ws {
+				T := n >> (s + 1)
+				applyRadixRound(slm, tbl, 1<<s, T, w, g0/(2*T))
+				g.Barrier()
+				s += w
+			}
+			finalizeForward(slm, tbl.Modulus.Value)
+		} else {
+			for _, w := range ws {
+				t := n >> s
+				applyInvRadixRound(slm, tbl, 1<<s, t, w, g0/((1<<w)*t))
+				g.Barrier()
+				s -= w
+			}
+			if s == 0 {
+				finalizeInverse(slm, tbl)
+			}
+		}
+		copy(slice[g0:g0+groupElems], slm)
+	}
+
+	if e.Analytic {
+		body = nil
+	}
+
+	// Analytic profile.
+	r := e.V.Radix()
+	slots := e.V.slots()
+	itemElems := r
+	if r == 2 {
+		itemElems = 2 * slots
+	}
+	itemsPerSlice := n / itemElems
+	items := polys * qCount * itemsPerSlice
+
+	var per isa.Profile
+	var extra float64
+	slmRounds := 0
+	simdGap := slots * simdWidth
+	s := stage
+	for _, w := range ws {
+		rr := 1 << w
+		// ALU work of this round, normalized per kernel item.
+		scale := float64(n/rr) / float64(itemsPerSlice)
+		per.AddProfile(roundProfile(rr), scale)
+		// Exchange medium: radix-2 stages whose gap fits in the
+		// subgroup exchange via SIMD shuffles; everything else goes
+		// through SLM (send instructions, bank-conflict serialized).
+		var gap int
+		if forward {
+			gap = n >> (s + 1)
+			s += w
+		} else {
+			gap = n >> s
+			s -= w
+		}
+		if r == 2 && gap <= simdGap {
+			// Shuffle + lane-index arithmetic (Fig. 9).
+			extra += (2 + 4) * float64(slots) * scale
+		} else {
+			slmRounds++
+			sendCost := slmSendSlotsHighRadix
+			if r == 2 {
+				sendCost = slmSendSlotsRadix2
+			}
+			// Two accesses per element: 2 loads + 2 stores per radix-2
+			// butterfly, or 2r accesses per high-radix item.
+			extra += 2 * float64(rr) * sendCost * scale
+		}
+		if slots > 1 {
+			// In-register data exchange + register pressure overhead of
+			// multi-slot variants, on every stage (Section III-B.4).
+			extra += multiSlotPenalty * float64((slots-1)*(slots-1)) * scale
+		}
+	}
+	// Fused last round processing / inverse scaling.
+	per.Add(isa.OpAdd64, float64(itemElems)*2)
+
+	grf := 8 * (3*r - 2) // r data + 2(r-1) twiddle registers
+	if r == 2 {
+		grf = 8 * (4*slots + 2)
+	}
+	return &sycl.Kernel{
+		Name:    "ntt_slm_" + e.V.String(),
+		Range:   gpu.NDRange{Global: [3]int{polys, qCount, n / groupElems}, Local: 1},
+		SLMSize: groupElems,
+		Body:    body,
+		Profile: gpu.KernelProfile{
+			Items:             items,
+			GroupItems:        groupElems / itemElems,
+			PerItem:           per,
+			ExtraSlotsPerItem: extra,
+			GlobalBytes:       float64(polys*qCount*n) * 16, // load + store once
+			Pattern:           gpu.PatternUnitStride,
+			SLMBytes:          float64(slmRounds) * float64(polys*qCount*n) * 16,
+			SLMConflictFactor: 1,
+			Barriers:          slmRounds,
+			GRFBytesPerItem:   grf,
+		},
+	}
+}
+
+// buildNaive builds one kernel per stage plus the last-round
+// processing kernel — the Fig. 6 baseline.
+func (e *Engine) buildNaive(data []uint64, polys int, tbls []*Tables, forward bool) []*sycl.Kernel {
+	n := tbls[0].N
+	qCount := len(tbls)
+	logN := countStages(n)
+	var kernels []*sycl.Kernel
+
+	mkStage := func(stage int) *sycl.Kernel {
+		body := func(g *gpu.GroupCtx) {
+			view := sliceOf(data, g.P, g.Q, qCount, n)
+			tbl := tbls[g.Q]
+			if forward {
+				applyRadixRound(view, tbl, 1<<stage, n>>(stage+1), 1, 0)
+			} else {
+				applyInvRadixRound(view, tbl, 1<<stage, n>>stage, 1, 0)
+			}
+		}
+		if e.Analytic {
+			body = nil
+		}
+		items := polys * qCount * (n / 2)
+		return &sycl.Kernel{
+			Name:  "ntt_naive_stage",
+			Range: gpu.NDRange{Global: [3]int{polys, qCount, n / 2}, Local: n / 2},
+			Body:  body,
+			Profile: gpu.KernelProfile{
+				Items:       items,
+				PerItem:     roundProfile(2),
+				GlobalBytes: float64(items) * 4 * 8,
+				Pattern:     gpu.PatternUnitStride,
+			},
+		}
+	}
+
+	if forward {
+		for stage := 0; stage < logN; stage++ {
+			kernels = append(kernels, mkStage(stage))
+		}
+	} else {
+		for stage := logN; stage > 0; stage-- {
+			kernels = append(kernels, mkStage(stage))
+		}
+	}
+
+	// Last round processing as its own kernel (not fused in the naive
+	// implementation — the 2N extra accesses of Section III-B.1).
+	final := func(g *gpu.GroupCtx) {
+		view := sliceOf(data, g.P, g.Q, qCount, n)
+		if forward {
+			finalizeForward(view, tbls[g.Q].Modulus.Value)
+		} else {
+			finalizeInverse(view, tbls[g.Q])
+		}
+	}
+	if e.Analytic {
+		final = nil
+	}
+	var per isa.Profile
+	per.Add(isa.OpAdd64, 4)
+	per.Add(isa.OpIndex, 4)
+	if !forward {
+		per.Add(isa.OpMul64Lo, 2)
+	}
+	items := polys * qCount * (n / 2)
+	kernels = append(kernels, &sycl.Kernel{
+		Name:  "ntt_naive_final",
+		Range: gpu.NDRange{Global: [3]int{polys, qCount, n / 2}, Local: n / 2},
+		Body:  final,
+		Profile: gpu.KernelProfile{
+			Items:       items,
+			PerItem:     per,
+			GlobalBytes: float64(items) * 4 * 8,
+			Pattern:     gpu.PatternUnitStride,
+		},
+	})
+	return kernels
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,91 @@
+package ntt
+
+import "xehe/internal/xmath"
+
+// Forward computes the in-place negacyclic NTT of x (length N) using
+// the serial Harvey lazy-reduction algorithm (Algorithm 1 plus last
+// round processing). This is the correctness oracle for every GPU
+// variant and doubles as the HEXL-style CPU baseline.
+//
+// The output is in bit-reversed order; Inverse consumes that order, and
+// element-wise products in the transformed domain implement negacyclic
+// convolution regardless of the ordering.
+func Forward(x []uint64, t *Tables) {
+	n := t.N
+	if len(x) != n {
+		panic("ntt: length mismatch")
+	}
+	p := t.Modulus.Value
+	twoP := 2 * p
+	tt := n
+	for m := 1; m < n; m <<= 1 {
+		tt >>= 1
+		for i := 0; i < m; i++ {
+			w := t.Roots[m+i]
+			j1 := 2 * i * tt
+			for j := j1; j < j1+tt; j++ {
+				x[j], x[j+tt] = xmath.HarveyButterfly(x[j], x[j+tt], w, p, twoP)
+			}
+		}
+	}
+	// Last round processing: reduce lazy values in [0, 4p) to [0, p).
+	for j := range x {
+		x[j] = xmath.ReduceToRange(x[j], p)
+	}
+}
+
+// Inverse computes the in-place inverse negacyclic NTT (Gentleman–
+// Sande), including the final scaling by n^{-1}, and fully reduces the
+// output to [0, p).
+func Inverse(x []uint64, t *Tables) {
+	n := t.N
+	if len(x) != n {
+		panic("ntt: length mismatch")
+	}
+	p := t.Modulus.Value
+	twoP := 2 * p
+	tt := 1
+	for m := n; m > 1; m >>= 1 {
+		j1 := 0
+		h := m >> 1
+		for i := 0; i < h; i++ {
+			w := t.InvRoots[h+i]
+			for j := j1; j < j1+tt; j++ {
+				x[j], x[j+tt] = xmath.GSButterfly(x[j], x[j+tt], w, p, twoP)
+			}
+			j1 += 2 * tt
+		}
+		tt <<= 1
+	}
+	for j := range x {
+		// Scale by n^{-1} and reduce to [0, p).
+		v := t.NInv.MulModLazy(x[j], p)
+		if v >= p {
+			v -= p
+		}
+		x[j] = v
+	}
+}
+
+// NegacyclicConvolution computes c = a * b mod (x^N + 1, p) by
+// schoolbook O(N^2) multiplication — the ground truth used in tests.
+func NegacyclicConvolution(a, b []uint64, m xmath.Modulus) []uint64 {
+	n := len(a)
+	c := make([]uint64, n)
+	p := m.Value
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			prod := m.MulMod(a[i], b[j])
+			k := i + j
+			if k < n {
+				c[k] = xmath.AddMod(c[k], prod, p)
+			} else {
+				c[k-n] = xmath.SubMod(c[k-n], prod, p)
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,119 @@
+package ntt
+
+import (
+	"math/rand"
+	"testing"
+
+	"xehe/internal/xmath"
+)
+
+func smallTables(t testing.TB, n int) *Tables {
+	t.Helper()
+	p := xmath.GeneratePrimes(50, 1, n)[0]
+	return NewTables(n, xmath.NewModulus(p))
+}
+
+func randPoly(rng *rand.Rand, n int, p uint64) []uint64 {
+	x := make([]uint64, n)
+	for i := range x {
+		x[i] = rng.Uint64() % p
+	}
+	return x
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{4, 8, 64, 256, 4096} {
+		tb := smallTables(t, n)
+		rng := rand.New(rand.NewSource(int64(n)))
+		x := randPoly(rng, n, tb.Modulus.Value)
+		orig := append([]uint64(nil), x...)
+		Forward(x, tb)
+		Inverse(x, tb)
+		for i := range x {
+			if x[i] != orig[i] {
+				t.Fatalf("n=%d: round trip mismatch at %d: %d != %d", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestForwardOutputRange(t *testing.T) {
+	tb := smallTables(t, 512)
+	rng := rand.New(rand.NewSource(9))
+	x := randPoly(rng, 512, tb.Modulus.Value)
+	Forward(x, tb)
+	for i, v := range x {
+		if v >= tb.Modulus.Value {
+			t.Fatalf("output %d not reduced: %d", i, v)
+		}
+	}
+}
+
+func TestNTTMultiplicationMatchesSchoolbook(t *testing.T) {
+	for _, n := range []int{8, 64, 512} {
+		tb := smallTables(t, n)
+		m := tb.Modulus
+		rng := rand.New(rand.NewSource(int64(n) + 1))
+		a := randPoly(rng, n, m.Value)
+		b := randPoly(rng, n, m.Value)
+		want := NegacyclicConvolution(a, b, m)
+
+		af := append([]uint64(nil), a...)
+		bf := append([]uint64(nil), b...)
+		Forward(af, tb)
+		Forward(bf, tb)
+		for i := range af {
+			af[i] = m.MulMod(af[i], bf[i])
+		}
+		Inverse(af, tb)
+		for i := range af {
+			if af[i] != want[i] {
+				t.Fatalf("n=%d: product mismatch at %d: %d != %d", n, i, af[i], want[i])
+			}
+		}
+	}
+}
+
+func TestNTTLinearity(t *testing.T) {
+	n := 256
+	tb := smallTables(t, n)
+	m := tb.Modulus
+	rng := rand.New(rand.NewSource(3))
+	a := randPoly(rng, n, m.Value)
+	b := randPoly(rng, n, m.Value)
+	sum := make([]uint64, n)
+	for i := range sum {
+		sum[i] = xmath.AddMod(a[i], b[i], m.Value)
+	}
+	Forward(a, tb)
+	Forward(b, tb)
+	Forward(sum, tb)
+	for i := range sum {
+		if sum[i] != xmath.AddMod(a[i], b[i], m.Value) {
+			t.Fatalf("NTT(a+b) != NTT(a)+NTT(b) at %d", i)
+		}
+	}
+}
+
+func TestNewTablesPanics(t *testing.T) {
+	p := xmath.NewModulus(xmath.GeneratePrimes(50, 1, 1024)[0])
+	for _, n := range []int{0, 3, 100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTables(%d) did not panic", n)
+				}
+			}()
+			NewTables(n, p)
+		}()
+	}
+	// NTT-unfriendly modulus.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("NTT-unfriendly modulus did not panic")
+			}
+		}()
+		NewTables(1<<20, p) // p ≡ 1 mod 2048 only
+	}()
+}

@@ -1,0 +1,104 @@
+// Package ntt implements the negacyclic Number Theoretic Transform —
+// the algorithm the paper identifies as >70% of HE evaluation time —
+// in every variant studied in Section III-B:
+//
+//   - a serial CPU reference (the correctness oracle, also the
+//     HEXL-style CPU baseline),
+//   - the naive radix-2 GPU kernel (Fig. 6),
+//   - the staged radix-2 GPU kernel with shared local memory and SIMD
+//     subgroup shuffling, in the SIMD(8,8)/(16,8)/(32,8) register
+//     blocking variants (Figs. 7–9),
+//   - high-radix (4/8/16) register-blocked kernels with SLM staging and
+//     fused last-round processing (Section III-B.5).
+//
+// All GPU variants execute real arithmetic through the simulator's
+// functional layer and are bit-exact against the reference; their
+// analytic profiles use the per-round ALU op counts of Table I.
+package ntt
+
+import "xehe/internal/xmath"
+
+// Tables holds the twiddle factors of one modulus for degree-N
+// negacyclic NTTs: powers of the 2N-th primitive root ψ in
+// bit-reversed ("scrambled") order, as in SEAL/HEXL, each paired with
+// its Harvey precondition quotient.
+type Tables struct {
+	N       int
+	LogN    int
+	Modulus xmath.Modulus
+
+	// Roots[m+i] is the twiddle of butterfly block i at stage with m
+	// blocks: ψ^{brv(m+i, logN)} (forward, Cooley–Tukey order).
+	Roots []xmath.MulModOperand
+	// InvRoots are the inverse twiddles in Gentleman–Sande order.
+	InvRoots []xmath.MulModOperand
+	// NInv is n^{-1} mod p for the inverse transform's final scaling.
+	NInv xmath.MulModOperand
+	// NInvLast is n^{-1} * (last GS twiddle) pre-merged — unused by the
+	// plain loop but kept for fused final rounds.
+	Psi uint64 // the 2N-th root used (for tests/debug)
+}
+
+// NewTables precomputes twiddle tables for degree n (a power of two)
+// under modulus m. It panics if n is not a power of two or if m has no
+// primitive 2n-th root of unity (i.e. m ≢ 1 mod 2n).
+func NewTables(n int, m xmath.Modulus) *Tables {
+	if n < 2 || n&(n-1) != 0 {
+		panic("ntt: degree must be a power of two >= 2")
+	}
+	if (m.Value-1)%uint64(2*n) != 0 {
+		panic("ntt: modulus is not NTT-friendly for this degree")
+	}
+	logN := 0
+	for 1<<logN < n {
+		logN++
+	}
+	psi := xmath.MinimalPrimitiveRoot(uint64(2*n), m)
+	psiInv := m.InvMod(psi)
+
+	t := &Tables{N: n, LogN: logN, Modulus: m, Psi: psi}
+	t.Roots = make([]xmath.MulModOperand, n)
+	t.InvRoots = make([]xmath.MulModOperand, n)
+
+	// Forward: Roots[j] = ψ^{brv(j, logN)}.
+	pow := uint64(1)
+	powers := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		powers[i] = pow
+		pow = m.MulMod(pow, psi)
+	}
+	for j := 0; j < n; j++ {
+		t.Roots[j] = xmath.NewMulModOperand(powers[xmath.ReverseBits(uint64(j), logN)], m)
+	}
+
+	// Inverse: InvRoots[j] = ψ^{-brv(j, logN)}, consumed by the GS loop
+	// via index h+i with the scramble mirrored (see Inverse in ref.go).
+	pow = uint64(1)
+	for i := 0; i < n; i++ {
+		powers[i] = pow
+		pow = m.MulMod(pow, psiInv)
+	}
+	for j := 0; j < n; j++ {
+		t.InvRoots[j] = xmath.NewMulModOperand(powers[xmath.ReverseBits(uint64(j), logN)], m)
+	}
+
+	t.NInv = xmath.NewMulModOperand(m.InvMod(uint64(n)), m)
+	return t
+}
+
+// TableSet bundles per-modulus tables for an RNS basis, indexed in the
+// same order as the basis moduli, optionally including the special
+// key-switching prime at the end.
+type TableSet struct {
+	N      int
+	Tables []*Tables
+}
+
+// NewTableSet builds tables for every modulus.
+func NewTableSet(n int, moduli []xmath.Modulus) *TableSet {
+	ts := &TableSet{N: n, Tables: make([]*Tables, len(moduli))}
+	for i, m := range moduli {
+		ts.Tables[i] = NewTables(n, m)
+	}
+	return ts
+}

@@ -1,0 +1,213 @@
+// Package poly implements RNS polynomials in R_q = Z_q[x]/(x^N+1) and
+// the coefficient-wise host operations the CKKS scheme is built from.
+// The GPU backend (internal/core) mirrors these operations as simulated
+// kernels; this package is the functional reference.
+package poly
+
+import (
+	"xehe/internal/ntt"
+	"xehe/internal/xmath"
+)
+
+// Poly is an RNS polynomial: Coeffs[i][j] is coefficient j of the
+// residue polynomial modulo q_i. IsNTT tracks the representation
+// domain (CKKS ciphertexts normally live in the NTT domain).
+type Poly struct {
+	N      int
+	Coeffs [][]uint64
+	IsNTT  bool
+}
+
+// New allocates a zero polynomial with `levels+1` RNS components.
+func New(n, components int) *Poly {
+	p := &Poly{N: n, Coeffs: make([][]uint64, components)}
+	backing := make([]uint64, n*components)
+	for i := range p.Coeffs {
+		p.Coeffs[i] = backing[i*n : (i+1)*n]
+	}
+	return p
+}
+
+// Components returns the number of RNS components.
+func (p *Poly) Components() int { return len(p.Coeffs) }
+
+// FromData wraps a flat [components][n] slice as a Poly without
+// copying — used by the GPU backend to view device buffers.
+func FromData(n, components int, data []uint64) *Poly {
+	if len(data) < n*components {
+		panic("poly: backing slice too short")
+	}
+	p := &Poly{N: n, Coeffs: make([][]uint64, components)}
+	for i := range p.Coeffs {
+		p.Coeffs[i] = data[i*n : (i+1)*n]
+	}
+	return p
+}
+
+// Data returns the contiguous flat backing of the polynomial
+// ([component][coefficient] order). It panics if the components are
+// not contiguous in memory (polys built by New and FromData always
+// are), since the GPU NTT engine requires a flat batch layout.
+func (p *Poly) Data() []uint64 {
+	n := p.N
+	total := n * len(p.Coeffs)
+	if cap(p.Coeffs[0]) < total {
+		panic("poly: non-contiguous polynomial")
+	}
+	flat := p.Coeffs[0][:total:total]
+	for i := range p.Coeffs {
+		if &flat[i*n] != &p.Coeffs[i][0] {
+			panic("poly: non-contiguous polynomial")
+		}
+	}
+	return flat
+}
+
+// Clone deep-copies the polynomial.
+func (p *Poly) Clone() *Poly {
+	q := New(p.N, len(p.Coeffs))
+	for i := range p.Coeffs {
+		copy(q.Coeffs[i], p.Coeffs[i])
+	}
+	q.IsNTT = p.IsNTT
+	return q
+}
+
+// DropLast removes the last RNS component (modulus switching).
+func (p *Poly) DropLast() { p.Coeffs = p.Coeffs[:len(p.Coeffs)-1] }
+
+// Equal reports coefficient-wise equality.
+func (p *Poly) Equal(q *Poly) bool {
+	if p.N != q.N || len(p.Coeffs) != len(q.Coeffs) || p.IsNTT != q.IsNTT {
+		return false
+	}
+	for i := range p.Coeffs {
+		for j := range p.Coeffs[i] {
+			if p.Coeffs[i][j] != q.Coeffs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AddInto sets dst = a + b (component-wise, same moduli).
+func AddInto(dst, a, b *Poly, moduli []xmath.Modulus) {
+	for i := range dst.Coeffs {
+		p := moduli[i].Value
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = xmath.AddMod(da[j], db[j], p)
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// SubInto sets dst = a - b.
+func SubInto(dst, a, b *Poly, moduli []xmath.Modulus) {
+	for i := range dst.Coeffs {
+		p := moduli[i].Value
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = xmath.SubMod(da[j], db[j], p)
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// NegInto sets dst = -a.
+func NegInto(dst, a *Poly, moduli []xmath.Modulus) {
+	for i := range dst.Coeffs {
+		p := moduli[i].Value
+		da, dd := a.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = xmath.NegMod(da[j], p)
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// MulInto sets dst = a ⊙ b (dyadic product; inputs must be in NTT form).
+func MulInto(dst, a, b *Poly, moduli []xmath.Modulus) {
+	for i := range dst.Coeffs {
+		m := moduli[i]
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = m.MulMod(da[j], db[j])
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// MAdInto sets dst = dst + a ⊙ b using the fused mad_mod operation
+// (one reduction per multiply-accumulate, Section III-A.1).
+func MAdInto(dst, a, b *Poly, moduli []xmath.Modulus) {
+	for i := range dst.Coeffs {
+		m := moduli[i]
+		da, db, dd := a.Coeffs[i], b.Coeffs[i], dst.Coeffs[i]
+		for j := range dd {
+			dd[j] = m.MAdMod(da[j], db[j], dd[j])
+		}
+	}
+}
+
+// MulScalarInto sets dst = a * s for per-component scalars s[i].
+func MulScalarInto(dst, a *Poly, s []uint64, moduli []xmath.Modulus) {
+	for i := range dst.Coeffs {
+		m := moduli[i]
+		da, dd := a.Coeffs[i], dst.Coeffs[i]
+		si := m.BarrettReduce(s[i])
+		for j := range dd {
+			dd[j] = m.MulMod(da[j], si)
+		}
+	}
+	dst.IsNTT = a.IsNTT
+}
+
+// NTTInto transforms every component to the NTT domain in place.
+func NTT(p *Poly, tbls []*ntt.Tables) {
+	if p.IsNTT {
+		panic("poly: already in NTT form")
+	}
+	for i := range p.Coeffs {
+		ntt.Forward(p.Coeffs[i], tbls[i])
+	}
+	p.IsNTT = true
+}
+
+// INTT transforms every component back to coefficient form in place.
+func INTT(p *Poly, tbls []*ntt.Tables) {
+	if !p.IsNTT {
+		panic("poly: not in NTT form")
+	}
+	for i := range p.Coeffs {
+		ntt.Inverse(p.Coeffs[i], tbls[i])
+	}
+	p.IsNTT = false
+}
+
+// Automorphism applies the Galois map x -> x^galois to a polynomial in
+// coefficient form, negacyclically: coefficient i moves to index
+// (i*galois mod 2N), with sign flip when the destination wraps past N.
+// This is the rotation primitive of the CKKS Rotate routine.
+func Automorphism(dst, a *Poly, galois uint64, moduli []xmath.Modulus) {
+	if a.IsNTT {
+		panic("poly: automorphism requires coefficient form")
+	}
+	n := uint64(a.N)
+	twoN := 2 * n
+	for i := range dst.Coeffs {
+		p := moduli[i].Value
+		da, dd := a.Coeffs[i], dst.Coeffs[i]
+		for j := uint64(0); j < n; j++ {
+			idx := (j * galois) % twoN
+			v := da[j]
+			if idx >= n {
+				idx -= n
+				v = xmath.NegMod(v, p)
+			}
+			dd[idx] = v
+		}
+	}
+	dst.IsNTT = false
+}

@@ -1,0 +1,188 @@
+package poly
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xehe/internal/ntt"
+	"xehe/internal/xmath"
+)
+
+func setup(t testing.TB, n, comps int) ([]xmath.Modulus, []*ntt.Tables) {
+	t.Helper()
+	primes := xmath.GeneratePrimes(45, comps, n)
+	moduli := make([]xmath.Modulus, comps)
+	tbls := make([]*ntt.Tables, comps)
+	for i, p := range primes {
+		moduli[i] = xmath.NewModulus(p)
+		tbls[i] = ntt.NewTables(n, moduli[i])
+	}
+	return moduli, tbls
+}
+
+func randPoly(n int, moduli []xmath.Modulus, seed int64) *Poly {
+	rng := rand.New(rand.NewSource(seed))
+	p := New(n, len(moduli))
+	for i, m := range moduli {
+		for j := range p.Coeffs[i] {
+			p.Coeffs[i][j] = rng.Uint64() % m.Value
+		}
+	}
+	return p
+}
+
+func TestAddSubNegRoundTrip(t *testing.T) {
+	moduli, _ := setup(t, 256, 3)
+	a := randPoly(256, moduli, 1)
+	b := randPoly(256, moduli, 2)
+	sum := New(256, 3)
+	AddInto(sum, a, b, moduli)
+	back := New(256, 3)
+	SubInto(back, sum, b, moduli)
+	if !back.Equal(a) {
+		t.Fatal("(a+b)-b != a")
+	}
+	neg := New(256, 3)
+	NegInto(neg, a, moduli)
+	zero := New(256, 3)
+	AddInto(zero, a, neg, moduli)
+	for i := range zero.Coeffs {
+		for j := range zero.Coeffs[i] {
+			if zero.Coeffs[i][j] != 0 {
+				t.Fatal("a + (-a) != 0")
+			}
+		}
+	}
+}
+
+func TestMAdMatchesMulAdd(t *testing.T) {
+	moduli, _ := setup(t, 128, 2)
+	a := randPoly(128, moduli, 3)
+	b := randPoly(128, moduli, 4)
+	c := randPoly(128, moduli, 5)
+
+	viaMad := c.Clone()
+	MAdInto(viaMad, a, b, moduli)
+
+	prod := New(128, 2)
+	MulInto(prod, a, b, moduli)
+	viaMulAdd := New(128, 2)
+	AddInto(viaMulAdd, c, prod, moduli)
+	viaMulAdd.IsNTT = viaMad.IsNTT
+
+	if !viaMad.Equal(viaMulAdd) {
+		t.Fatal("mad_mod fusion changed the result")
+	}
+}
+
+func TestNTTDomainTracking(t *testing.T) {
+	moduli, tbls := setup(t, 256, 2)
+	a := randPoly(256, moduli, 6)
+	orig := a.Clone()
+	NTT(a, tbls)
+	if !a.IsNTT {
+		t.Fatal("IsNTT not set")
+	}
+	mustPanicP(t, func() { NTT(a, tbls) })
+	INTT(a, tbls)
+	if a.IsNTT {
+		t.Fatal("IsNTT not cleared")
+	}
+	mustPanicP(t, func() { INTT(a, tbls) })
+	if !a.Equal(orig) {
+		t.Fatal("NTT round trip broke the polynomial")
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	moduli, _ := setup(t, 64, 2)
+	a := randPoly(64, moduli, 7)
+	s := []uint64{3, 7}
+	out := New(64, 2)
+	MulScalarInto(out, a, s, moduli)
+	for i, m := range moduli {
+		for j := range out.Coeffs[i] {
+			if out.Coeffs[i][j] != m.MulMod(a.Coeffs[i][j], s[i]) {
+				t.Fatal("scalar multiply wrong")
+			}
+		}
+	}
+}
+
+func TestAutomorphismComposition(t *testing.T) {
+	// φ_g1 ∘ φ_g2 = φ_{g1*g2 mod 2N}.
+	moduli, _ := setup(t, 128, 1)
+	a := randPoly(128, moduli, 8)
+	g1, g2 := uint64(5), uint64(25)
+	twoN := uint64(256)
+
+	step1 := New(128, 1)
+	Automorphism(step1, a, g2, moduli)
+	step2 := New(128, 1)
+	Automorphism(step2, step1, g1, moduli)
+
+	direct := New(128, 1)
+	Automorphism(direct, a, (g1*g2)%twoN, moduli)
+	if !step2.Equal(direct) {
+		t.Fatal("automorphism composition broken")
+	}
+}
+
+func TestAutomorphismIdentity(t *testing.T) {
+	moduli, _ := setup(t, 64, 2)
+	a := randPoly(64, moduli, 9)
+	out := New(64, 2)
+	Automorphism(out, a, 1, moduli)
+	if !out.Equal(a) {
+		t.Fatal("φ_1 must be the identity")
+	}
+}
+
+// Property: automorphism is a ring homomorphism w.r.t. addition.
+func TestQuickAutomorphismAdditive(t *testing.T) {
+	moduli, _ := setup(t, 64, 1)
+	prop := func(seed1, seed2 int64) bool {
+		a := randPoly(64, moduli, seed1)
+		b := randPoly(64, moduli, seed2)
+		sum := New(64, 1)
+		AddInto(sum, a, b, moduli)
+		left := New(64, 1)
+		Automorphism(left, sum, 5, moduli)
+
+		fa, fb := New(64, 1), New(64, 1)
+		Automorphism(fa, a, 5, moduli)
+		Automorphism(fb, b, 5, moduli)
+		right := New(64, 1)
+		AddInto(right, fa, fb, moduli)
+		right.IsNTT = left.IsNTT
+		return left.Equal(right)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropLastAndClone(t *testing.T) {
+	moduli, _ := setup(t, 64, 3)
+	a := randPoly(64, moduli, 10)
+	c := a.Clone()
+	c.DropLast()
+	if c.Components() != 2 || a.Components() != 3 {
+		t.Fatal("DropLast must only affect the clone")
+	}
+	c.Coeffs[0][0] = 12345
+	if a.Coeffs[0][0] == 12345 && a.Coeffs[0][0] != c.Coeffs[0][0] {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func mustPanicP(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,169 @@
+package rns
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"xehe/internal/xmath"
+)
+
+func testBasis(t testing.TB) *Basis {
+	t.Helper()
+	return NewCKKSBasis(4096, 4, 50, 40, 50)
+}
+
+func TestNewBasisValidation(t *testing.T) {
+	for _, tc := range [][]uint64{nil, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("empty chain did not panic")
+				}
+			}()
+			NewBasis(tc, 97)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate modulus did not panic")
+			}
+		}()
+		ps := xmath.GeneratePrimes(40, 1, 1024)
+		NewBasis([]uint64{ps[0], ps[0]}, 97)
+	}()
+}
+
+func TestComposeDecomposeRoundTrip(t *testing.T) {
+	b := testBasis(t)
+	rng := rand.New(rand.NewSource(42))
+	for level := 0; level <= b.MaxLevel(); level++ {
+		q := b.Q(level)
+		for trial := 0; trial < 50; trial++ {
+			x := new(big.Int).Rand(rng, q)
+			res := b.Decompose(x, level)
+			got := b.Compose(res, level)
+			if got.Cmp(x) != 0 {
+				t.Fatalf("level %d: compose(decompose(%v)) = %v", level, x, got)
+			}
+		}
+	}
+}
+
+func TestComposeCentered(t *testing.T) {
+	b := testBasis(t)
+	level := b.MaxLevel()
+	q := b.Q(level)
+	// Small negative value: -5 mod Q must come back as -5.
+	x := big.NewInt(-5)
+	res := b.Decompose(x, level)
+	got := b.ComposeCentered(res, level)
+	if got.Cmp(x) != 0 {
+		t.Fatalf("centered compose of -5 = %v", got)
+	}
+	// Value just below Q/2 stays positive.
+	half := new(big.Int).Rsh(q, 1)
+	xp := new(big.Int).Sub(half, big.NewInt(1))
+	if got := b.ComposeCentered(b.Decompose(xp, level), level); got.Cmp(xp) != 0 {
+		t.Fatalf("centered compose near Q/2 = %v, want %v", got, xp)
+	}
+}
+
+func TestQHatInvConsistency(t *testing.T) {
+	b := testBasis(t)
+	for level := 0; level <= b.MaxLevel(); level++ {
+		for i := 0; i <= level; i++ {
+			mi := b.Moduli[i]
+			qHat := uint64(1)
+			for j := 0; j <= level; j++ {
+				if j != i {
+					qHat = mi.MulMod(qHat, mi.BarrettReduce(b.Moduli[j].Value))
+				}
+			}
+			if got := mi.MulMod(qHat, b.QHatInvModQi(level, i)); got != 1 {
+				t.Fatalf("level %d, i %d: qHat * qHatInv = %d, want 1", level, i, got)
+			}
+		}
+	}
+}
+
+func TestInvLastAndSpecialInverses(t *testing.T) {
+	b := testBasis(t)
+	for level := 1; level <= b.MaxLevel(); level++ {
+		last := b.Moduli[level].Value
+		for i := 0; i < level; i++ {
+			mi := b.Moduli[i]
+			if got := mi.MulMod(mi.BarrettReduce(last), b.InvLastModQi(level, i)); got != 1 {
+				t.Fatalf("q_last * invLast != 1 at level %d, i %d", level, i)
+			}
+		}
+		for i := 0; i <= level; i++ {
+			mi := b.Moduli[i]
+			if got := mi.MulMod(b.SpecialModQi(level, i), b.SpecialInvModQi(level, i)); got != 1 {
+				t.Fatalf("p * pInv != 1 at level %d, i %d", level, i)
+			}
+		}
+	}
+}
+
+func TestCKKSBasisShape(t *testing.T) {
+	b := NewCKKSBasis(8192, 5, 52, 40, 52)
+	if len(b.Moduli) != 5 {
+		t.Fatalf("chain length = %d, want 5", len(b.Moduli))
+	}
+	if got := b.Moduli[0].BitCount(); got != 52 {
+		t.Errorf("first prime bits = %d, want 52", got)
+	}
+	for i := 1; i < 5; i++ {
+		if got := b.Moduli[i].BitCount(); got != 40 {
+			t.Errorf("mid prime %d bits = %d, want 40", i, got)
+		}
+	}
+	if got := b.Special.BitCount(); got != 52 {
+		t.Errorf("special prime bits = %d, want 52", got)
+	}
+	// Special must differ from every chain prime (key-switch soundness).
+	for _, m := range b.Moduli {
+		if m.Value == b.Special.Value {
+			t.Fatal("special prime collides with chain prime")
+		}
+	}
+}
+
+func TestCKKSBasisEqualBitSizes(t *testing.T) {
+	// All three bit sizes equal: all primes must still be distinct.
+	b := NewCKKSBasis(4096, 3, 45, 45, 45)
+	seen := map[uint64]bool{b.Special.Value: true}
+	for _, m := range b.Moduli {
+		if seen[m.Value] {
+			t.Fatal("duplicate prime generated")
+		}
+		seen[m.Value] = true
+	}
+}
+
+// Property: CRT composition is a ring homomorphism — compose of the
+// residue-wise product equals the big-integer product mod Q.
+func TestQuickCRTHomomorphism(t *testing.T) {
+	b := testBasis(t)
+	level := b.MaxLevel()
+	q := b.Q(level)
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := new(big.Int).Rand(rng, q)
+		y := new(big.Int).Rand(rng, q)
+		rx, ry := b.Decompose(x, level), b.Decompose(y, level)
+		prod := make([]uint64, level+1)
+		for i := range prod {
+			prod[i] = b.Moduli[i].MulMod(rx[i], ry[i])
+		}
+		want := new(big.Int).Mul(x, y)
+		want.Mod(want, q)
+		return b.Compose(prod, level).Cmp(want) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Package roofline reproduces the paper's roofline analysis
+// (Section IV-B, Fig. 15): operational density of every NTT variant,
+// the device's int64 compute roof and global-memory-bandwidth roof,
+// and each variant's achieved throughput.
+package roofline
+
+import (
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+	"xehe/internal/ntt"
+	"xehe/internal/sycl"
+)
+
+// Point is one NTT variant on the roofline plot.
+type Point struct {
+	Variant ntt.Variant
+	// Density is nominal int64 ops per byte of global traffic.
+	Density float64
+	// RooflineGIOPS is min(peak, density*bandwidth): the roof at this
+	// density.
+	RooflineGIOPS float64
+	// AchievedGIOPS is the simulated throughput of the variant at the
+	// given configuration.
+	AchievedGIOPS float64
+	// Bound reports the limiting resource at this density.
+	Bound string
+}
+
+// Model computes roofline points for all variants at a given
+// transform size and batch, on `tiles` tiles of the device.
+type Model struct {
+	Spec  gpu.DeviceSpec
+	Tiles int
+}
+
+// Density returns the operational density of one forward transform
+// under the variant's schedule: total nominal ALU ops over total
+// global-memory bytes. For N = 32K this reproduces the paper's
+// numbers: naive ≈ 1.5 op/byte, SLM radix-8 ≈ 8.9 op/byte.
+func (m *Model) Density(v ntt.Variant, n int, tbls []*ntt.Tables) float64 {
+	e := ntt.NewAnalyticEngine(v)
+	var ops, bytes float64
+	for _, k := range e.BuildKernels(nil, 1, tbls, true) {
+		ops += k.Profile.NominalOps(&m.Spec)
+		bytes += k.Profile.GlobalBytes
+	}
+	return ops / bytes
+}
+
+// Point measures one variant at the given batch configuration.
+func (m *Model) Point(v ntt.Variant, n, rns, instances int, tbls []*ntt.Tables, asm bool) Point {
+	spec := m.Spec
+	density := m.Density(v, n, tbls)
+
+	peak := spec.PeakSlotsPerCyclePerTile() * (1 + spec.MultiTileScaling*float64(m.Tiles-1)) * spec.ClockGHz
+	bw := spec.GlobalBytesPerCyclePerTile * (1 + spec.MultiTileScaling*float64(m.Tiles-1)) * spec.ClockGHz
+	roof := density * bw * gpu.PatternUnitStride.Efficiency()
+	bound := "memory"
+	if roof > peak {
+		roof = peak
+		bound = "compute"
+	}
+
+	// Simulated achieved throughput.
+	achieved := achievedGIOPS(spec, v, n, rns, instances, tbls, asm, m.Tiles)
+	return Point{Variant: v, Density: density, RooflineGIOPS: roof, AchievedGIOPS: achieved, Bound: bound}
+}
+
+func achievedGIOPS(spec gpu.DeviceSpec, v ntt.Variant, n, rns, instances int, tbls []*ntt.Tables, asm bool, tiles int) float64 {
+	dev := gpu.NewDevice(spec)
+	qs := queuesFor(dev, asm, tiles)
+	batch := make([]*ntt.Tables, rns)
+	for i := range batch {
+		batch[i] = tbls[0]
+	}
+	e := ntt.NewAnalyticEngine(v)
+	evs := e.Forward(qs, nil, instances, batch)
+	var end float64
+	for _, ev := range evs {
+		if ev.Done() > end {
+			end = ev.Done()
+		}
+	}
+	nominal := e.NominalOps(&spec, instances, batch, true)
+	return nominal / end * spec.ClockGHz // ops/cycle * GHz = GIOPS
+}
+
+// Efficiency returns achieved/(full-device peak) for a variant — the
+// metric of Figs. 12b/13b/14/17.
+func (m *Model) Efficiency(v ntt.Variant, n, rns, instances int, tbls []*ntt.Tables, asm bool) float64 {
+	g := achievedGIOPS(m.Spec, v, n, rns, instances, tbls, asm, m.Tiles)
+	return g / m.Spec.PeakGIOPS()
+}
+
+func queuesFor(dev *gpu.Device, asm bool, tiles int) []*sycl.Queue {
+	cg := isa.CompilerGenerated
+	if asm {
+		cg = isa.InlineASM
+	}
+	if tiles > 1 && dev.Spec.Tiles > 1 {
+		return sycl.NewQueuesAllTiles(dev, cg)
+	}
+	return []*sycl.Queue{sycl.NewQueue(dev, cg)}
+}

@@ -1,0 +1,140 @@
+// Package sycl provides a thin DPC++/SYCL-shaped runtime over the GPU
+// simulator, mirroring the programming model the paper's library is
+// written against: in-order queues, handler-based kernel submission
+// with nd_range geometry, events, and USM device allocations.
+//
+// It exists so that the NTT kernels and the HE pipeline read like
+// their SYCL counterparts in the paper (Figs. 6 and 8), and so that
+// explicit multi-tile submission through multiple queues
+// (Section III-C.2) is expressed the same way as in DPC++.
+package sycl
+
+import (
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+)
+
+// Queue is an in-order SYCL queue bound to (one tile of) a device.
+type Queue struct {
+	q  *gpu.Queue
+	cg isa.CodeGen
+}
+
+// NewQueue creates a queue on tile 0 of the device, the implicit
+// single-tile submission the paper's DPC++ runtime performs.
+func NewQueue(d *gpu.Device, cg isa.CodeGen) *Queue {
+	return &Queue{q: d.NewQueue(0), cg: cg}
+}
+
+// NewQueuesAllTiles creates one queue per tile (explicit multi-tile
+// submission).
+func NewQueuesAllTiles(d *gpu.Device, cg isa.CodeGen) []*Queue {
+	gqs := d.NewQueues()
+	qs := make([]*Queue, len(gqs))
+	for i, gq := range gqs {
+		qs[i] = &Queue{q: gq, cg: cg}
+	}
+	return qs
+}
+
+// CodeGen returns the code-generation strategy kernels on this queue
+// are compiled with (compiler baseline or inline assembly).
+func (q *Queue) CodeGen() isa.CodeGen { return q.cg }
+
+// SetCodeGen switches codegen, used by the optimization-step sweeps.
+func (q *Queue) SetCodeGen(cg isa.CodeGen) { q.cg = cg }
+
+// Raw returns the underlying simulator queue.
+func (q *Queue) Raw() *gpu.Queue { return q.q }
+
+// Device returns the underlying simulated device.
+func (q *Queue) Device() *gpu.Device { return q.q.Device() }
+
+// Submit runs a command group: the handler records exactly one kernel
+// (parallel_for) which is then launched. It mirrors
+// queue.submit([&](handler& h){ h.parallel_for(...); }).
+func (q *Queue) Submit(cgf func(h *Handler), deps ...gpu.Event) gpu.Event {
+	h := Handler{}
+	cgf(&h)
+	if h.kernel == nil {
+		return gpu.Event{}
+	}
+	return q.q.Launch(h.kernel, q.cg, append(deps, h.deps...)...)
+}
+
+// SubmitSplit runs one command group split across all given queues
+// (explicit multi-tile submission). The kernel executes functionally
+// once; its analytic cost is divided across tiles.
+func SubmitSplit(queues []*Queue, cgf func(h *Handler), deps ...gpu.Event) []gpu.Event {
+	h := Handler{}
+	cgf(&h)
+	if h.kernel == nil {
+		return nil
+	}
+	raw := make([]*gpu.Queue, len(queues))
+	for i, q := range queues {
+		raw[i] = q.q
+	}
+	return gpu.LaunchSplit(raw, h.kernel, queues[0].cg, append(deps, h.deps...)...)
+}
+
+// Wait drains the queue.
+func (q *Queue) Wait() { q.q.Wait() }
+
+// Handler accumulates the single kernel of a command group.
+type Handler struct {
+	kernel *Kernel
+	deps   []gpu.Event
+}
+
+// DependsOn adds an event dependency to the command group.
+func (h *Handler) DependsOn(evs ...gpu.Event) { h.deps = append(h.deps, evs...) }
+
+// Kernel aliases the simulator kernel type; construction goes through
+// ParallelFor to mirror SYCL.
+type Kernel = gpu.Kernel
+
+// NDRange aliases the simulator launch geometry.
+type NDRange = gpu.NDRange
+
+// ParallelFor records the kernel for this command group.
+func (h *Handler) ParallelFor(k *Kernel) { h.kernel = k }
+
+// Buffer is a USM-style device allocation with simulated transfer and
+// allocation costs. Data lives in host memory (the simulator executes
+// functionally on the host) but the cost accounting matches
+// malloc_device + memcpy semantics.
+type Buffer struct {
+	Data []uint64
+	dev  *gpu.Device
+}
+
+// MallocDevice allocates n uint64 words on the device, paying the
+// driver allocation cost (sycl::malloc_device).
+func MallocDevice(d *gpu.Device, n int) *Buffer {
+	d.RawMalloc(int64(n) * 8)
+	return &Buffer{Data: make([]uint64, n), dev: d}
+}
+
+// Free releases the buffer back to the driver.
+func (b *Buffer) Free() {
+	if b.dev != nil {
+		b.dev.RawFree(int64(cap(b.Data)) * 8)
+	}
+	b.Data = nil
+}
+
+// Bytes returns the buffer size in bytes.
+func (b *Buffer) Bytes() int64 { return int64(len(b.Data)) * 8 }
+
+// CopyIn models a host-to-device copy of the given words.
+func (q *Queue) CopyIn(b *Buffer, src []uint64, deps ...gpu.Event) gpu.Event {
+	copy(b.Data, src)
+	return q.q.CopyH2D(int64(len(src))*8, deps...)
+}
+
+// CopyOut models a device-to-host copy.
+func (q *Queue) CopyOut(dst []uint64, b *Buffer, deps ...gpu.Event) gpu.Event {
+	copy(dst, b.Data)
+	return q.q.CopyD2H(int64(len(dst))*8, deps...)
+}

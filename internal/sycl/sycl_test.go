@@ -1,0 +1,115 @@
+package sycl
+
+import (
+	"testing"
+
+	"xehe/internal/gpu"
+	"xehe/internal/isa"
+)
+
+func TestSubmitRunsKernel(t *testing.T) {
+	d := gpu.NewDevice1()
+	q := NewQueue(d, isa.CompilerGenerated)
+	ran := false
+	ev := q.Submit(func(h *Handler) {
+		h.ParallelFor(&Kernel{
+			Range: NDRange{Global: [3]int{1, 1, 64}},
+			Body:  func(g *gpu.GroupCtx) { ran = true },
+		})
+	})
+	if !ran {
+		t.Fatal("kernel body did not run")
+	}
+	if ev.Done() <= 0 {
+		t.Fatal("event has no completion time")
+	}
+}
+
+func TestSubmitEmptyGroupIsNoop(t *testing.T) {
+	d := gpu.NewDevice1()
+	q := NewQueue(d, isa.CompilerGenerated)
+	ev := q.Submit(func(h *Handler) {})
+	if ev.Done() != 0 {
+		t.Fatal("empty command group should produce a zero event")
+	}
+}
+
+func TestHandlerDependsOn(t *testing.T) {
+	d := gpu.NewDevice1()
+	q := NewQueue(d, isa.CompilerGenerated)
+	e1 := q.Submit(func(h *Handler) {
+		h.ParallelFor(&Kernel{
+			Range:   NDRange{Global: [3]int{1, 1, 1}},
+			Profile: gpu.KernelProfile{GlobalBytes: 1e8, Pattern: gpu.PatternUnitStride},
+		})
+	})
+	// Queue on the other tile must still respect the dependency.
+	q2 := &Queue{q: d.NewQueue(1), cg: isa.CompilerGenerated}
+	e2 := q2.Submit(func(h *Handler) {
+		h.DependsOn(e1)
+		h.ParallelFor(&Kernel{Range: NDRange{Global: [3]int{1, 1, 1}}})
+	})
+	if e2.Done() <= e1.Done() {
+		t.Fatal("dependent command group must complete after its dependency")
+	}
+}
+
+func TestSubmitSplitAcrossTiles(t *testing.T) {
+	d := gpu.NewDevice1()
+	qs := NewQueuesAllTiles(d, isa.InlineASM)
+	if len(qs) != 2 {
+		t.Fatalf("want 2 queues, got %d", len(qs))
+	}
+	runs := 0
+	evs := SubmitSplit(qs, func(h *Handler) {
+		h.ParallelFor(&Kernel{
+			Range:   NDRange{Global: [3]int{1, 1, 1 << 12}},
+			Body:    func(g *gpu.GroupCtx) { runs++ },
+			Profile: gpu.KernelProfile{GlobalBytes: 1e9, Pattern: gpu.PatternUnitStride},
+		})
+	})
+	if runs != 1 {
+		t.Fatalf("functional body must run exactly once, ran %d", runs)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("want 2 events, got %d", len(evs))
+	}
+}
+
+func TestBufferAllocCopyRoundTrip(t *testing.T) {
+	d := gpu.NewDevice1()
+	q := NewQueue(d, isa.CompilerGenerated)
+	b := MallocDevice(d, 256)
+	if _, _, count := d.AllocStats(); count != 1 {
+		t.Fatal("MallocDevice must hit the driver")
+	}
+	src := make([]uint64, 256)
+	for i := range src {
+		src[i] = uint64(i * i)
+	}
+	q.CopyIn(b, src)
+	dst := make([]uint64, 256)
+	ev := q.CopyOut(dst, b)
+	ev.Wait()
+	for i := range dst {
+		if dst[i] != src[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	b.Free()
+	if live, _, _ := d.AllocStats(); live != 0 {
+		t.Fatalf("live bytes after free = %d", live)
+	}
+}
+
+func TestCodeGenSwitch(t *testing.T) {
+	d := gpu.NewDevice2()
+	q := NewQueue(d, isa.CompilerGenerated)
+	if q.CodeGen() != isa.CompilerGenerated {
+		t.Fatal("wrong initial codegen")
+	}
+	q.SetCodeGen(isa.InlineASM)
+	if q.CodeGen() != isa.InlineASM {
+		t.Fatal("codegen switch failed")
+	}
+}

@@ -1,0 +1,242 @@
+// Package xmath implements the 64-bit modular integer arithmetic that
+// underpins the whole HE stack: modular addition, subtraction and
+// multiplication with Barrett reduction, David Harvey's preconditioned
+// ("lazy") multiplication used by the NTT butterflies, the fused
+// multiply-add-mod (mad_mod) operation from the paper's
+// instruction-level optimizations, and NTT-friendly prime generation.
+//
+// All ciphertext moduli used by the library are < 2^60, matching SEAL
+// and the paper (Section III.A.1): this guarantees that deferring the
+// modular reduction across one multiply-accumulate never overflows the
+// 128-bit intermediate.
+package xmath
+
+import "math/bits"
+
+// MaxModulusBits is the largest bit width permitted for a ciphertext
+// modulus. The paper (following SEAL) keeps all moduli below 60 bits so
+// Harvey's lazy reduction and mad_mod fusion are overflow-safe.
+const MaxModulusBits = 60
+
+// AddMod returns (a + b) mod p. It requires a, b < p < 2^63.
+//
+// This is the operation the paper optimizes from 4 compiler-generated
+// instructions down to 3 with inline assembly (Fig. 3); the arithmetic
+// is identical either way.
+func AddMod(a, b, p uint64) uint64 {
+	s := a + b
+	if s >= p {
+		s -= p
+	}
+	return s
+}
+
+// SubMod returns (a - b) mod p. It requires a, b < p.
+func SubMod(a, b, p uint64) uint64 {
+	d := a - b
+	if a < b {
+		d += p
+	}
+	return d
+}
+
+// NegMod returns (-a) mod p for a < p.
+func NegMod(a, p uint64) uint64 {
+	if a == 0 {
+		return 0
+	}
+	return p - a
+}
+
+// Mul64 returns the full 128-bit product a*b as (hi, lo).
+//
+// On Intel GPUs this is the int64 multiplication the paper emulates
+// from 32-bit mul_low_high instructions (Fig. 4); here the Go compiler
+// lowers bits.Mul64 to the native MULX/MUL instruction.
+func Mul64(a, b uint64) (hi, lo uint64) {
+	return bits.Mul64(a, b)
+}
+
+// Modulus bundles a prime modulus with the precomputed constants used
+// by Barrett reduction. ConstRatio is floor(2^128 / p) stored as a
+// 2-word little-endian value, exactly like SEAL's Modulus class.
+type Modulus struct {
+	Value      uint64
+	ConstRatio [2]uint64 // floor(2^128/p): [lo, hi]
+	bitCount   int
+}
+
+// NewModulus precomputes Barrett constants for p. It panics if p < 2 or
+// p exceeds MaxModulusBits bits, which would break the lazy-reduction
+// invariants relied on throughout the library.
+func NewModulus(p uint64) Modulus {
+	if p < 2 {
+		panic("xmath: modulus must be >= 2")
+	}
+	if bits.Len64(p) > MaxModulusBits {
+		panic("xmath: modulus exceeds 60 bits")
+	}
+	// Compute floor(2^128 / p) by long division of 2^128 by p.
+	// 2^128 = (2^64)^2; divide (1<<64, 0, 0) in base-2^64 digits.
+	hi, rem := bits.Div64(1, 0, p) // floor(2^64 / p), remainder
+	lo, _ := bits.Div64(rem, 0, p)
+	return Modulus{Value: p, ConstRatio: [2]uint64{lo, hi}, bitCount: bits.Len64(p)}
+}
+
+// BitCount returns the bit length of the modulus value.
+func (m Modulus) BitCount() int { return m.bitCount }
+
+// BarrettReduce returns a mod p using the 1-word Barrett reduction.
+func (m Modulus) BarrettReduce(a uint64) uint64 {
+	hi, _ := bits.Mul64(a, m.ConstRatio[1])
+	r := a - hi*m.Value
+	if r >= m.Value {
+		r -= m.Value
+	}
+	return r
+}
+
+// BarrettReduce128 reduces a 128-bit value (hi, lo) modulo p.
+// This is SEAL's barrett_reduce_128: two-word Barrett with the
+// precomputed floor(2^128/p) ratio.
+func (m Modulus) BarrettReduce128(hi, lo uint64) uint64 {
+	// Multiply input by ConstRatio and keep the third 64-bit word of the
+	// 256-bit product; see SEAL uintarithsmallmod.h for the derivation.
+	// Round 1.
+	carry, _ := bits.Mul64(lo, m.ConstRatio[0])
+	h2, l2 := bits.Mul64(lo, m.ConstRatio[1])
+	tmp2, carry2 := bits.Add64(l2, carry, 0)
+	tmp1 := h2 + carry2
+
+	// Round 2.
+	h3, l3 := bits.Mul64(hi, m.ConstRatio[0])
+	tmp3, carry3 := bits.Add64(l3, tmp2, 0)
+	_ = tmp3
+	tmp1 += h3 + carry3
+
+	// This is all we care about.
+	tmp1 += hi * m.ConstRatio[1]
+
+	r := lo - tmp1*m.Value
+	if r >= m.Value {
+		r -= m.Value
+	}
+	return r
+}
+
+// MulMod returns (a * b) mod p via 128-bit multiply + Barrett reduction.
+func (m Modulus) MulMod(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return m.BarrettReduce128(hi, lo)
+}
+
+// MAdMod returns (a*b + c) mod p with a single modular reduction at the
+// end — the paper's fused mad_mod (Section III.A.1). The 128-bit
+// accumulator cannot overflow because a, b, c < 2^60: a*b < 2^120 and
+// adding c < 2^60 stays below 2^121 < 2^128.
+func (m Modulus) MAdMod(a, b, c uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	var carry uint64
+	lo, carry = bits.Add64(lo, c, 0)
+	hi += carry
+	return m.BarrettReduce128(hi, lo)
+}
+
+// PowMod returns a^e mod p by square-and-multiply.
+func (m Modulus) PowMod(a, e uint64) uint64 {
+	a = m.BarrettReduce(a)
+	r := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			r = m.MulMod(r, a)
+		}
+		a = m.MulMod(a, a)
+		e >>= 1
+	}
+	return r
+}
+
+// InvMod returns a^-1 mod p for prime p, or panics if a == 0 mod p.
+func (m Modulus) InvMod(a uint64) uint64 {
+	a = m.BarrettReduce(a)
+	if a == 0 {
+		panic("xmath: zero has no modular inverse")
+	}
+	// Fermat: a^(p-2) mod p.
+	return m.PowMod(a, m.Value-2)
+}
+
+// MulModOperand holds Harvey's preconditioned multiplication operand: a
+// fixed multiplier W together with W' = floor(W * 2^64 / p). It makes
+// repeated multiplications by W cost one high-half multiply plus one
+// low multiply — the core trick inside the NTT butterfly (Algorithm 1).
+type MulModOperand struct {
+	Operand  uint64 // W, in [0, p)
+	Quotient uint64 // floor(W * 2^64 / p)
+}
+
+// NewMulModOperand precomputes the Harvey quotient for operand w mod p.
+func NewMulModOperand(w uint64, m Modulus) MulModOperand {
+	w = m.BarrettReduce(w)
+	q, _ := bits.Div64(w, 0, m.Value) // floor(w * 2^64 / p)
+	return MulModOperand{Operand: w, Quotient: q}
+}
+
+// MulModLazy returns a value congruent to y*W mod p lying in [0, 2p):
+// Harvey's lazy preconditioned multiplication.
+func (op MulModOperand) MulModLazy(y uint64, p uint64) uint64 {
+	q, _ := bits.Mul64(op.Quotient, y)
+	return y*op.Operand - q*p
+}
+
+// MulMod returns y*W mod p fully reduced to [0, p).
+func (op MulModOperand) MulMod(y uint64, p uint64) uint64 {
+	r := op.MulModLazy(y, p)
+	if r >= p {
+		r -= p
+	}
+	return r
+}
+
+// HarveyButterfly performs the Cooley–Tukey NTT butterfly from the
+// paper's Algorithm 1 on lazy inputs:
+//
+//	X' = X + W*Y mod p,  Y' = X - W*Y mod p
+//
+// Inputs satisfy 0 <= X, Y < 4p and outputs satisfy 0 <= X', Y' < 4p,
+// so reductions can be deferred across rounds (the "last round
+// processing" finally brings everything into [0, p)).
+func HarveyButterfly(x, y uint64, w MulModOperand, p, twoP uint64) (uint64, uint64) {
+	if x >= twoP {
+		x -= twoP
+	}
+	t := w.MulModLazy(y, p) // in [0, 2p)
+	return x + t, x + twoP - t
+}
+
+// GSButterfly performs the Gentleman–Sande (inverse NTT) butterfly on
+// lazy inputs:
+//
+//	X' = X + Y mod p,  Y' = W * (X - Y) mod p
+//
+// with inputs in [0, 2p) and outputs in [0, 2p).
+func GSButterfly(x, y uint64, w MulModOperand, p, twoP uint64) (uint64, uint64) {
+	s := x + y
+	if s >= twoP {
+		s -= twoP
+	}
+	d := x + twoP - y
+	return s, w.MulModLazy(d, p)
+}
+
+// ReduceToRange brings a lazy value in [0, 4p) into [0, p).
+func ReduceToRange(x, p uint64) uint64 {
+	twoP := 2 * p
+	if x >= twoP {
+		x -= twoP
+	}
+	if x >= p {
+		x -= p
+	}
+	return x
+}

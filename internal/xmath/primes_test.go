@@ -1,0 +1,115 @@
+package xmath
+
+import (
+	"testing"
+)
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		0: false, 1: false, 2: true, 3: true, 4: false, 5: true,
+		97: true, 561: false /* Carmichael */, 7919: true,
+		1<<31 - 1: true, 1<<32 + 1: false,
+		1152921504606830593: true,
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestGeneratePrimes(t *testing.T) {
+	n := 8192
+	primes := GeneratePrimes(50, 6, n)
+	if len(primes) != 6 {
+		t.Fatalf("got %d primes, want 6", len(primes))
+	}
+	seen := map[uint64]bool{}
+	for _, p := range primes {
+		if seen[p] {
+			t.Fatalf("duplicate prime %d", p)
+		}
+		seen[p] = true
+		if !IsPrime(p) {
+			t.Fatalf("%d is not prime", p)
+		}
+		if p%(2*uint64(n)) != 1 {
+			t.Fatalf("%d is not ≡ 1 mod 2N", p)
+		}
+		if p>>49 == 0 || p>>50 != 0 {
+			t.Fatalf("%d is not a 50-bit prime", p)
+		}
+	}
+}
+
+func TestGeneratePrimesPanics(t *testing.T) {
+	cases := []struct {
+		bitSize, count, n int
+	}{
+		{2, 1, 1024},      // bit size too small
+		{61, 1, 1024},     // bit size too large
+		{50, 1, 1000},     // N not a power of two
+		{20, 5000, 65536}, // range exhausted
+	}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("GeneratePrimes(%d,%d,%d) did not panic", c.bitSize, c.count, c.n)
+				}
+			}()
+			GeneratePrimes(c.bitSize, c.count, c.n)
+		}()
+	}
+}
+
+func TestMinimalPrimitiveRoot(t *testing.T) {
+	n := 4096
+	p := GeneratePrimes(50, 1, n)[0]
+	m := NewModulus(p)
+	order := uint64(2 * n)
+	root := MinimalPrimitiveRoot(order, m)
+	// root^order == 1 and root^(order/2) == -1.
+	if got := m.PowMod(root, order); got != 1 {
+		t.Fatalf("root^order = %d, want 1", got)
+	}
+	if got := m.PowMod(root, order/2); got != p-1 {
+		t.Fatalf("root^(order/2) = %d, want p-1", got)
+	}
+	// Minimality: no smaller value with the same property below root
+	// (bounded scan to keep the test fast).
+	limit := root
+	if limit > 50000 {
+		limit = 50000
+	}
+	for cand := uint64(2); cand < limit; cand++ {
+		if m.PowMod(cand, order/2) == p-1 && m.PowMod(cand, order) == 1 {
+			t.Fatalf("found smaller primitive root %d < %d", cand, root)
+		}
+	}
+}
+
+func TestReverseBits(t *testing.T) {
+	cases := []struct {
+		x     uint64
+		width int
+		want  uint64
+	}{
+		{0b000, 3, 0b000},
+		{0b001, 3, 0b100},
+		{0b011, 3, 0b110},
+		{0b1011, 4, 0b1101},
+		{1, 16, 1 << 15},
+	}
+	for _, c := range cases {
+		if got := ReverseBits(c.x, c.width); got != c.want {
+			t.Errorf("ReverseBits(%b, %d) = %b, want %b", c.x, c.width, got, c.want)
+		}
+	}
+	// Involution property.
+	for x := uint64(0); x < 256; x++ {
+		if ReverseBits(ReverseBits(x, 8), 8) != x {
+			t.Fatalf("ReverseBits not an involution at %d", x)
+		}
+	}
+}

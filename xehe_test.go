@@ -1,0 +1,97 @@
+package xehe
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+var (
+	testParams *Parameters
+	testKit    *KeyKit
+)
+
+func fixture(t testing.TB) (*Parameters, *KeyKit) {
+	t.Helper()
+	if testParams == nil {
+		testParams = NewParameters(ParamsDemo())
+		testKit = GenerateKeys(testParams, 42, 1)
+	}
+	return testParams, testKit
+}
+
+func randVec(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return v
+}
+
+func TestFacadeEncryptDecrypt(t *testing.T) {
+	params, kit := fixture(t)
+	v := randVec(params.Slots(), 1)
+	got := kit.Decrypt(kit.Encrypt(v))
+	for i := range v {
+		if cmplx.Abs(got[i]-v[i]) > 1e-6 {
+			t.Fatalf("slot %d: %v vs %v", i, got[i], v[i])
+		}
+	}
+}
+
+func TestFacadeHomomorphicOps(t *testing.T) {
+	params, kit := fixture(t)
+	a := randVec(params.Slots(), 2)
+	b := randVec(params.Slots(), 3)
+	cta, ctb := kit.Encrypt(a), kit.Encrypt(b)
+
+	for _, dev := range []DeviceKind{Device1, Device2} {
+		he := NewGPUEvaluator(params, kit, dev, ConfigOptimized())
+
+		sum := kit.Decrypt(he.Add(cta, ctb))
+		prod := kit.Decrypt(he.MulRelinRescale(cta, ctb))
+		rot := kit.Decrypt(he.Rotate(cta, 1))
+		for i := range a {
+			if cmplx.Abs(sum[i]-(a[i]+b[i])) > 1e-6 {
+				t.Fatalf("dev %d add slot %d", dev, i)
+			}
+			if cmplx.Abs(prod[i]-a[i]*b[i]) > 1e-4 {
+				t.Fatalf("dev %d mul slot %d", dev, i)
+			}
+			if cmplx.Abs(rot[i]-a[(i+1)%len(a)]) > 1e-4 {
+				t.Fatalf("dev %d rotate slot %d", dev, i)
+			}
+		}
+		if he.SimulatedSeconds() <= 0 {
+			t.Fatal("no simulated time accumulated")
+		}
+	}
+}
+
+func TestFacadeNaiveVsOptimizedTiming(t *testing.T) {
+	params, kit := fixture(t)
+	a := randVec(params.Slots(), 4)
+	ct := kit.Encrypt(a)
+
+	naive := NewGPUEvaluator(params, kit, Device1, ConfigNaive())
+	opt := NewGPUEvaluator(params, kit, Device1, ConfigOptimized())
+	naive.SquareRelinRescale(ct)
+	opt.SquareRelinRescale(ct)
+	if opt.SimulatedSeconds() >= naive.SimulatedSeconds() {
+		t.Fatalf("optimized config (%v s) must beat naive (%v s)",
+			opt.SimulatedSeconds(), naive.SimulatedSeconds())
+	}
+}
+
+func TestRotateWithoutKeyPanics(t *testing.T) {
+	params, kit := fixture(t)
+	he := NewGPUEvaluator(params, kit, Device1, ConfigNaive())
+	ct := kit.Encrypt(randVec(params.Slots(), 5))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rotate without key did not panic")
+		}
+	}()
+	he.Rotate(ct, 3)
+}
