@@ -1,0 +1,36 @@
+# XeHE build/test/bench targets. `make test-race` is the one CI must
+# run for the concurrent subsystems (scheduler, memory cache, GPU
+# simulator); plain `make test` covers the whole tree.
+
+GO ?= go
+
+.PHONY: all build vet test test-race bench bench-service clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# Race-enabled pass over every package that runs goroutines
+# concurrently: the batch scheduler's differential harness, the shared
+# device memory cache, and the GPU simulator's group runner.
+test-race:
+	$(GO) test -race ./internal/sched/... ./internal/memcache/... ./internal/gpu/...
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Throughput sweep of the concurrent scheduler (jobs/sec at 1, 2, 4
+# and 8 workers, host and simulated).
+bench-service:
+	$(GO) test -bench BenchmarkServiceThroughput -run '^$$' .
+	$(GO) run ./cmd/xehe-bench -service 200
+
+clean:
+	$(GO) clean ./...

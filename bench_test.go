@@ -9,6 +9,7 @@ package xehe
 // figure tables.
 
 import (
+	"fmt"
 	"testing"
 
 	"xehe/internal/apps/matmul"
@@ -295,6 +296,62 @@ func BenchmarkAblationRadix(b *testing.B) {
 				cycles, _ = fhebench.NTTRun(spec, v, isa.InlineASM, 1, benchAnchor, 8)
 			}
 			b.ReportMetric(cycles, "sim-cycles")
+		})
+	}
+}
+
+// BenchmarkServiceThroughput measures end-to-end throughput of the
+// concurrent scheduler at 1, 2, 4 and 8 workers. Each job is a
+// MulRelinRescale + Rotate chain over pre-encrypted inputs; jobs are
+// submitted in a tight loop and the pool drains them concurrently.
+// Two metrics are reported: host-side jobs/sec (bounded by the real
+// CPU count — flat on a single-core runner, scales on multicore), and
+// simulated device throughput sim-jobs/sec, which scales with workers
+// because workers pin to distinct tiles and overlap on the simulated
+// timelines (the paper's explicit multi-tile submission, Fig. 14b,
+// applied to independent jobs instead of one split kernel).
+func BenchmarkServiceThroughput(b *testing.B) {
+	params := NewParameters(ParamsDemo())
+	kit := GenerateKeys(params, 11, 1)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(0.25, 0.1)
+	}
+	cta, ctb := kit.Encrypt(v), kit.Encrypt(v)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := NewService(params, kit, Device1, ServiceConfig{Workers: workers})
+			defer svc.Close()
+			submit := func(n int) {
+				for i := 0; i < n; i++ {
+					job := NewJob(cta, ctb)
+					r := job.MulRelinRescale(0, 1)
+					job.Rotate(r, 1)
+					if _, err := svc.Submit(job); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			// Warm the buffer cache to the pool's working set, then
+			// reset the simulated clocks so the sim metric measures
+			// steady-state scheduling, not cold-start driver allocs.
+			submit(4 * workers)
+			svc.Wait()
+			warmJobs := svc.Stats().Jobs
+			svc.ResetSimClocks()
+			b.ResetTimer()
+			submit(b.N)
+			svc.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/sec")
+			if sim := svc.SimulatedSeconds(); sim > 0 {
+				b.ReportMetric(float64(b.N)/sim, "sim-jobs/sec")
+			}
+			st := svc.Stats()
+			if st.Jobs != warmJobs+int64(b.N) || st.Failed != 0 {
+				b.Fatalf("stats = %d jobs / %d failed, want %d/0", st.Jobs, st.Failed, warmJobs+int64(b.N))
+			}
 		})
 	}
 }

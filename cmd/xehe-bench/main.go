@@ -6,13 +6,16 @@
 //	xehe-bench -fig all        # everything
 //	xehe-bench -fig 12         # one figure (5, 12, 13, 14a, 14b, 15, 16, 17, 18, 19)
 //	xehe-bench -tab 1          # Table I
+//	xehe-bench -service 200    # concurrent-scheduler throughput sweep
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"xehe"
 	"xehe/internal/fhebench"
 	"xehe/internal/gpu"
 )
@@ -20,7 +23,13 @@ import (
 func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 5, 12, 13, 14a, 14b, 15, 16, 17, 18, 19, 'scaling' (multi-GPU extension), or 'all'")
 	tab := flag.String("tab", "", "table to reproduce: 1")
+	service := flag.Int("service", 0, "run the concurrent-scheduler throughput sweep with this many jobs per worker count")
 	flag.Parse()
+
+	if *service > 0 {
+		serviceThroughput(*service)
+		return
+	}
 
 	if *fig == "" && *tab == "" {
 		*fig = "all"
@@ -70,6 +79,61 @@ func main() {
 		default:
 			fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 			os.Exit(2)
+		}
+	}
+}
+
+// serviceThroughput sweeps the concurrent batch scheduler (xehe.Service)
+// over worker counts on both devices: each run submits `jobs`
+// MulRelinRescale+Rotate jobs, reporting host wall-clock throughput and
+// simulated device throughput. Workers pin round-robin to tiles, so
+// the sweep extends the paper's explicit dual-tile submission
+// (Fig. 14b) from one split kernel to many independent jobs.
+func serviceThroughput(jobs int) {
+	params := xehe.NewParameters(xehe.ParamsDemo())
+	kit := xehe.GenerateKeys(params, 17, 1)
+	v := make([]complex128, params.Slots())
+	for i := range v {
+		v[i] = complex(0.25, 0.1)
+	}
+	cta, ctb := kit.Encrypt(v), kit.Encrypt(v)
+
+	fmt.Printf("concurrent scheduler throughput (%d jobs per config; job = MulRelinRS + Rotate at N=4096, L=4)\n", jobs)
+	for _, dev := range []struct {
+		kind xehe.DeviceKind
+		name string
+	}{{xehe.Device1, "Device1 (2 tiles)"}, {xehe.Device2, "Device2 (1 tile)"}} {
+		fmt.Printf("\n%-18s %8s %12s %14s %10s %10s\n", dev.name, "workers", "jobs/sec", "sim-jobs/sec", "batches", "coalesced")
+		for _, workers := range []int{1, 2, 4, 8} {
+			svc := xehe.NewService(params, kit, dev.kind, xehe.ServiceConfig{Workers: workers})
+			submit := func(n int) {
+				for i := 0; i < n; i++ {
+					job := xehe.NewJob(cta, ctb)
+					r := job.MulRelinRescale(0, 1)
+					job.Rotate(r, 1)
+					if _, err := svc.Submit(job); err != nil {
+						fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+						os.Exit(1)
+					}
+				}
+			}
+			// Warm the buffer cache to the pool's working set, then
+			// reset the simulated clocks: cold driver allocations
+			// serialize the pipeline and would mask steady-state
+			// scaling (matching BenchmarkServiceThroughput).
+			submit(4 * workers)
+			svc.Wait()
+			svc.ResetSimClocks()
+			warm := svc.Stats() // subtracted below: report measured jobs only
+			start := time.Now()
+			submit(jobs)
+			svc.Wait()
+			wall := time.Since(start).Seconds()
+			st := svc.Stats()
+			fmt.Printf("%-18s %8d %12.1f %14.0f %10d %10d\n", "",
+				workers, float64(jobs)/wall, float64(jobs)/svc.SimulatedSeconds(),
+				st.Batches-warm.Batches, st.Coalesced-warm.Coalesced)
+			svc.Close()
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package xehe
+
+// Smoke test that every example and command keeps building and passing
+// vet, so examples can't silently rot as the library evolves. It runs
+// the go tool of the environment executing the test suite; the test
+// working directory is the module root.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+func mainPackageDirs(t *testing.T) []string {
+	t.Helper()
+	var dirs []string
+	for _, glob := range []string{"examples/*", "cmd/*"} {
+		matches, err := filepath.Glob(glob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range matches {
+			if fi, err := os.Stat(m); err == nil && fi.IsDir() {
+				dirs = append(dirs, m)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	if len(dirs) < 6 {
+		t.Fatalf("found only %d example/command dirs (%v); the glob is probably broken", len(dirs), dirs)
+	}
+	return dirs
+}
+
+func TestExamplesAndCommandsBuild(t *testing.T) {
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	tmp := t.TempDir()
+	for _, dir := range mainPackageDirs(t) {
+		dir := dir
+		t.Run(dir, func(t *testing.T) {
+			vet := exec.Command(goTool, "vet", "./"+dir)
+			if out, err := vet.CombinedOutput(); err != nil {
+				t.Fatalf("go vet ./%s failed: %v\n%s", dir, err, out)
+			}
+			build := exec.Command(goTool, "build", "-o", filepath.Join(tmp, filepath.Base(dir)), "./"+dir)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("go build ./%s failed: %v\n%s", dir, err, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,3 @@
+module xehe
+
+go 1.24

@@ -54,7 +54,9 @@ func OptNTTAsmDualTile() Config {
 	return Config{NTT: ntt.LocalRadix8, InlineASM: true, MadMod: true, DualTile: true}
 }
 
-func (c Config) codegen() isa.CodeGen {
+// Codegen returns the code-generation strategy the config selects
+// (inline assembly vs compiler-generated, Section III-A.2).
+func (c Config) Codegen() isa.CodeGen {
 	if c.InlineASM {
 		return isa.InlineASM
 	}
@@ -76,7 +78,7 @@ type Context struct {
 
 // NewContext creates a backend context on the device.
 func NewContext(params *ckks.Parameters, dev *gpu.Device, cfg Config) *Context {
-	cg := cfg.codegen()
+	cg := cfg.Codegen()
 	var queues []*sycl.Queue
 	if cfg.DualTile && dev.Spec.Tiles > 1 {
 		queues = sycl.NewQueuesAllTiles(dev, cg)
@@ -88,13 +90,22 @@ func NewContext(params *ckks.Parameters, dev *gpu.Device, cfg Config) *Context {
 			q.Raw().SetBlocking(true)
 		}
 	}
-	eng := &ntt.Engine{V: cfg.NTT, Analytic: cfg.Analytic}
+	return NewContextOn(params, dev, cfg, queues, memcache.New(dev, cfg.MemCache))
+}
+
+// NewContextOn creates a backend context bound to externally supplied
+// queues and a (possibly shared) memory cache. The concurrent scheduler
+// (internal/sched) uses it to give each worker its own in-order queue
+// while all workers recycle buffers through one device-wide cache; the
+// cache is safe for concurrent use, and per-worker queues keep the
+// in-order pipeline state (deps) private to one goroutine.
+func NewContextOn(params *ckks.Parameters, dev *gpu.Device, cfg Config, queues []*sycl.Queue, cache *memcache.Cache) *Context {
 	return &Context{
 		Params: params,
 		Device: dev,
 		Queues: queues,
-		Cache:  memcache.New(dev, cfg.MemCache),
-		Engine: eng,
+		Cache:  cache,
+		Engine: &ntt.Engine{V: cfg.NTT, Analytic: cfg.Analytic},
 		Cfg:    cfg,
 	}
 }

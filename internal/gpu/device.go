@@ -46,13 +46,27 @@ func NewDevice2() *Device { return NewDevice(Device2Spec()) }
 func (d *Device) Reset() {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	d.resetClocksLocked()
+	d.allocated = 0
+	d.peakAlloc = 0
+	d.allocs = 0
+}
+
+// ResetClocks clears only the simulated clocks, preserving allocation
+// accounting — for measuring steady state after a warm-up phase whose
+// buffers are still live (a full Reset would drive the live-bytes
+// counter negative once those buffers are eventually freed).
+func (d *Device) ResetClocks() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.resetClocksLocked()
+}
+
+func (d *Device) resetClocksLocked() {
 	for i := range d.tileTime {
 		d.tileTime[i] = 0
 	}
 	d.hostTime = 0
-	d.allocated = 0
-	d.peakAlloc = 0
-	d.allocs = 0
 }
 
 // HostTime returns the simulated host clock in device cycles.
@@ -84,6 +98,16 @@ func (d *Device) AdvanceHost(c Cycles) {
 
 // Seconds converts simulated cycles to seconds on this device.
 func (d *Device) Seconds(c Cycles) float64 { return c / (d.Spec.ClockGHz * 1e9) }
+
+// SimulatedSeconds returns the simulated wall-clock consumed so far:
+// the later of the busiest tile and the host clock, in seconds.
+func (d *Device) SimulatedSeconds() float64 {
+	t := d.DeviceTime()
+	if h := d.HostTime(); h > t {
+		t = h
+	}
+	return d.Seconds(t)
+}
 
 // EnableTrace starts recording per-command durations.
 func (d *Device) EnableTrace() {
@@ -196,6 +220,12 @@ func (d *Device) NewQueues() []*Queue {
 // naive (non-asynchronous) pipeline used as the baseline in the
 // application-level ablations.
 func (q *Queue) SetBlocking(b bool) { q.blocking = b }
+
+// SetMultiQueue marks the queue as part of an explicit multi-queue set,
+// so each submission pays the multi-queue tax (Section III-C.2). It is
+// used by callers that build queue sets manually instead of through
+// NewQueues — e.g. the concurrent scheduler's per-worker queues.
+func (q *Queue) SetMultiQueue(b bool) { q.multiQ = b }
 
 // Tile returns the tile this queue is bound to.
 func (q *Queue) Tile() int { return q.tile }

@@ -130,3 +130,21 @@ func (c *Cache) Release() {
 		e.buf.Free()
 	}
 }
+
+// ReleaseAll drops the free pool AND any buffers still checked out.
+// For final teardown only, after every user of the cache has stopped:
+// remaining used entries are orphans (e.g. allocations stranded by a
+// panicking job) and are returned to the driver so the device's
+// live-memory accounting balances. It returns how many orphaned
+// buffers were reclaimed.
+func (c *Cache) ReleaseAll() int {
+	c.mu.Lock()
+	used := c.used
+	c.used = map[*sycl.Buffer]*entry{}
+	c.mu.Unlock()
+	for _, e := range used {
+		e.buf.Free()
+	}
+	c.Release()
+	return len(used)
+}

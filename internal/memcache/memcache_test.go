@@ -145,3 +145,20 @@ func TestQuickCacheInvariants(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReleaseAllReclaimsOrphans(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	kept := c.Malloc(256) // returned properly
+	_ = c.Malloc(512)     // orphaned: handle lost (e.g. a panicking job)
+	c.Free(kept)
+	if got := c.ReleaseAll(); got != 1 {
+		t.Fatalf("ReleaseAll reclaimed %d orphans, want 1", got)
+	}
+	if c.UsedCount() != 0 || c.FreeCount() != 0 {
+		t.Fatalf("pools not empty: used=%d free=%d", c.UsedCount(), c.FreeCount())
+	}
+	if live, _, _ := d.AllocStats(); live != 0 {
+		t.Fatalf("leak: %d live device bytes after ReleaseAll", live)
+	}
+}

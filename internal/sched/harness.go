@@ -1,0 +1,285 @@
+package sched
+
+import (
+	"fmt"
+	"math/cmplx"
+	"math/rand"
+
+	"xehe/internal/ckks"
+	"xehe/internal/core"
+	"xehe/internal/gpu"
+)
+
+// Harness generates randomized HE job scenarios and provides the
+// serial reference path for differential testing: the same job is run
+// through the concurrent scheduler and through a plain single-queue
+// core.Context, and both the raw ciphertexts (which must match
+// exactly — the simulated kernels are deterministic) and the decrypted
+// values (which must match the plaintext model within CKKS noise) are
+// compared.
+type Harness struct {
+	Params    *ckks.Parameters
+	Rotations []int
+
+	enc  *ckks.Encoder
+	encr *ckks.Encryptor
+	decr *ckks.Decryptor
+	rlk  *ckks.RelinKey
+	gks  map[int]*ckks.GaloisKey
+
+	serial *core.Context
+}
+
+// NewHarness generates key material (deterministically from seed) for
+// the given rotations and builds the serial reference context on a
+// fresh instance of the paper's Device1 with the full optimization
+// stack.
+func NewHarness(params *ckks.Parameters, seed int64, rotations ...int) *Harness {
+	kg := ckks.NewKeyGenerator(params, seed)
+	sk := kg.GenSecretKey()
+	pk := kg.GenPublicKey(sk)
+	h := &Harness{
+		Params:    params,
+		Rotations: append([]int(nil), rotations...),
+		enc:       ckks.NewEncoder(params),
+		encr:      ckks.NewEncryptor(params, pk, seed+1),
+		decr:      ckks.NewDecryptor(params, sk),
+		rlk:       kg.GenRelinKey(sk),
+		gks:       map[int]*ckks.GaloisKey{},
+	}
+	for _, r := range rotations {
+		h.gks[r] = kg.GenGaloisKey(sk, params.GaloisElement(r))
+	}
+	cfg := core.OptNTTAsm()
+	cfg.MemCache = true
+	h.serial = core.NewContext(params, gpu.NewDevice1(), cfg)
+	return h
+}
+
+// RelinKey returns the harness relinearization key.
+func (h *Harness) RelinKey() *ckks.RelinKey { return h.rlk }
+
+// GaloisKeys returns the harness rotation keys.
+func (h *Harness) GaloisKeys() map[int]*ckks.GaloisKey { return h.gks }
+
+// Encrypt encodes and encrypts a vector at the top level.
+func (h *Harness) Encrypt(values []complex128) *ckks.Ciphertext {
+	pt := h.enc.Encode(values, h.Params.Scale, h.Params.MaxLevel())
+	return h.encr.Encrypt(pt)
+}
+
+// Decrypt decrypts and decodes a ciphertext.
+func (h *Harness) Decrypt(ct *ckks.Ciphertext) []complex128 {
+	return h.enc.Decode(h.decr.Decrypt(ct))
+}
+
+// Case is one randomized scenario: a job plus the plaintext-model
+// expectation for its output slots.
+type Case struct {
+	Job      *Job
+	Expected []complex128
+}
+
+// genValue tracks the plaintext model of one job value during
+// generation.
+type genValue struct {
+	meta valueMeta
+	pt   []complex128
+}
+
+// RandomCase builds one random job: 1-3 fresh encrypted inputs
+// followed by 1..maxOps ops drawn from the applicable set at each
+// step (level, scale and key constraints respected by construction).
+// The plaintext model is evaluated alongside.
+func (h *Harness) RandomCase(rng *rand.Rand, maxOps int) *Case {
+	slots := h.Params.Slots()
+	nIn := 1 + rng.Intn(3)
+	job := &Job{}
+	var vals []genValue
+	for i := 0; i < nIn; i++ {
+		pt := make([]complex128, slots)
+		for j := range pt {
+			pt[j] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+		}
+		job.Inputs = append(job.Inputs, h.Encrypt(pt))
+		vals = append(vals, genValue{
+			meta: valueMeta{level: h.Params.MaxLevel(), scale: h.Params.Scale},
+			pt:   pt,
+		})
+	}
+	nOps := 1 + rng.Intn(maxOps)
+	for len(job.Ops) < nOps {
+		op, ok := h.randomOp(rng, vals)
+		if !ok {
+			break // no applicable op left (levels exhausted)
+		}
+		job.Ops = append(job.Ops, op)
+		vals = append(vals, applyModel(h.Params, vals, op, slots))
+	}
+	if len(job.Ops) == 0 {
+		// Always produce at least one op; Add with itself is always legal.
+		op := Op{Code: OpAdd, A: 0, B: 0}
+		job.Ops = append(job.Ops, op)
+		vals = append(vals, applyModel(h.Params, vals, op, slots))
+	}
+	return &Case{Job: job, Expected: vals[len(vals)-1].pt}
+}
+
+// mulSafe reports whether a value's scale is still near the base scale,
+// the precondition for multiplying it again without exhausting the
+// modulus budget.
+func mulSafe(p *ckks.Parameters, m valueMeta) bool {
+	return m.scale <= p.Scale*2
+}
+
+// randomOp draws one applicable op over the current values, or reports
+// that none applies.
+func (h *Harness) randomOp(rng *rand.Rand, vals []genValue) (Op, bool) {
+	type cand struct {
+		op Op
+		w  int // selection weight
+	}
+	var cands []cand
+	for a := range vals {
+		ma := vals[a].meta
+		for b := range vals {
+			mb := vals[b].meta
+			if ma.level != mb.level {
+				continue
+			}
+			diff := ma.scale - mb.scale
+			if diff < ma.scale*1e-9 && diff > -ma.scale*1e-9 {
+				cands = append(cands, cand{Op{Code: OpAdd, A: a, B: b}, 2})
+			}
+			if mulSafe(h.Params, ma) && mulSafe(h.Params, mb) {
+				cands = append(cands, cand{Op{Code: OpMulRelin, A: a, B: b}, 1})
+				if ma.level > 0 {
+					cands = append(cands, cand{Op{Code: OpMulRelinRescale, A: a, B: b}, 3})
+				}
+			}
+		}
+		if ma.level > 0 && mulSafe(h.Params, ma) {
+			cands = append(cands, cand{Op{Code: OpSquareRelinRescale, A: a}, 2})
+		}
+		if ma.level > 0 {
+			cands = append(cands, cand{Op{Code: OpModSwitch, A: a}, 1})
+		}
+		for _, k := range h.Rotations {
+			cands = append(cands, cand{Op{Code: OpRotate, A: a, K: k}, 2})
+		}
+	}
+	if len(cands) == 0 {
+		return Op{}, false
+	}
+	total := 0
+	for _, c := range cands {
+		total += c.w
+	}
+	pick := rng.Intn(total)
+	for _, c := range cands {
+		pick -= c.w
+		if pick < 0 {
+			return c.op, true
+		}
+	}
+	return cands[len(cands)-1].op, true
+}
+
+// applyModel evaluates one op on the plaintext model and symbolic meta.
+func applyModel(p *ckks.Parameters, vals []genValue, op Op, slots int) genValue {
+	a := vals[op.A]
+	out := genValue{pt: make([]complex128, slots)}
+	switch op.Code {
+	case OpAdd:
+		b := vals[op.B]
+		for i := range out.pt {
+			out.pt[i] = a.pt[i] + b.pt[i]
+		}
+		out.meta = a.meta
+	case OpMulRelin, OpMulRelinRescale:
+		b := vals[op.B]
+		for i := range out.pt {
+			out.pt[i] = a.pt[i] * b.pt[i]
+		}
+		out.meta = valueMeta{level: a.meta.level, scale: a.meta.scale * b.meta.scale}
+		if op.Code == OpMulRelinRescale {
+			out.meta.level--
+			out.meta.scale /= float64(p.Basis.Moduli[a.meta.level].Value)
+		}
+	case OpSquareRelinRescale:
+		for i := range out.pt {
+			out.pt[i] = a.pt[i] * a.pt[i]
+		}
+		out.meta = valueMeta{
+			level: a.meta.level - 1,
+			scale: a.meta.scale * a.meta.scale / float64(p.Basis.Moduli[a.meta.level].Value),
+		}
+	case OpRotate:
+		for i := range out.pt {
+			out.pt[i] = a.pt[((i+op.K)%slots+slots)%slots] // negative k rotates the other way
+		}
+		out.meta = a.meta
+	case OpModSwitch:
+		copy(out.pt, a.pt)
+		out.meta = valueMeta{level: a.meta.level - 1, scale: a.meta.scale}
+	}
+	return out
+}
+
+// RunSerial executes a job on the harness's serial reference context —
+// the existing single-stream core.Context path — and returns the
+// result ciphertext.
+func (h *Harness) RunSerial(job *Job) (*ckks.Ciphertext, error) {
+	vals, err := evalChain(h.serial, h.rlk, h.gks, job)
+	defer func() {
+		for _, v := range vals {
+			if v != nil {
+				h.serial.Free(v)
+			}
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return h.serial.Download(vals[len(vals)-1]), nil
+}
+
+// SameCiphertext reports whether two ciphertexts are identical:
+// same level, scale and raw RNS coefficients. The simulated kernels
+// are deterministic, so the concurrent scheduler must reproduce the
+// serial path bit-for-bit; any divergence is a scheduling bug (shared
+// state corruption, wrong buffer reuse, ...).
+func SameCiphertext(a, b *ckks.Ciphertext) error {
+	if a.Level != b.Level {
+		return fmt.Errorf("level %d vs %d", a.Level, b.Level)
+	}
+	if a.Scale != b.Scale {
+		return fmt.Errorf("scale %g vs %g", a.Scale, b.Scale)
+	}
+	if len(a.Value) != len(b.Value) {
+		return fmt.Errorf("degree %d vs %d", len(a.Value), len(b.Value))
+	}
+	for i := range a.Value {
+		da, db := a.Value[i].Data(), b.Value[i].Data()
+		if len(da) != len(db) {
+			return fmt.Errorf("component %d: %d vs %d words", i, len(da), len(db))
+		}
+		for j := range da {
+			if da[j] != db[j] {
+				return fmt.Errorf("component %d word %d: %d vs %d", i, j, da[j], db[j])
+			}
+		}
+	}
+	return nil
+}
+
+// MaxSlotError returns the largest |got-want| over all slots.
+func MaxSlotError(got, want []complex128) float64 {
+	var max float64
+	for i := range want {
+		if d := cmplx.Abs(got[i] - want[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}

@@ -1,0 +1,446 @@
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xehe/internal/ckks"
+	"xehe/internal/core"
+	"xehe/internal/gpu"
+	"xehe/internal/memcache"
+	"xehe/internal/sycl"
+)
+
+// ErrClosed is returned by Submit after Close has been called.
+var ErrClosed = errors.New("sched: scheduler is closed")
+
+// Config tunes the scheduler. The zero value of any field selects a
+// sensible default.
+type Config struct {
+	// Workers is the size of the goroutine pool; each worker owns one
+	// queue pinned to tile (worker mod tiles). Default: the device's
+	// tile count.
+	Workers int
+	// QueueDepth bounds each worker's batch queue and scales the
+	// intake buffer; when all queues are full, Submit blocks
+	// (backpressure). Default 8.
+	QueueDepth int
+	// MaxBatch caps how many same-shape jobs are coalesced into one
+	// batch. Default 8; 1 disables batching.
+	MaxBatch int
+	// Core configures the per-worker backend contexts (NTT variant,
+	// inline assembly, memory cache, ...). Config.Core.DualTile is
+	// ignored: tile parallelism comes from the worker pool itself.
+	Core core.Config
+}
+
+func (c Config) withDefaults(dev *gpu.Device) Config {
+	if c.Workers <= 0 {
+		c.Workers = dev.Spec.Tiles
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 8
+	}
+	return c
+}
+
+// Stats is a snapshot of scheduler counters.
+type Stats struct {
+	Jobs                   int64 // jobs completed (including failed ones)
+	Failed                 int64 // jobs that finished with an error
+	Batches                int64 // batches executed
+	MaxBatch               int   // largest batch observed
+	Coalesced              int64 // jobs that ran in a batch of size >= 2
+	PerWorker              []int64
+	CacheHits, CacheMisses int64
+}
+
+// Future is the pending result of a submitted job.
+type Future struct {
+	done chan struct{}
+	res  *ckks.Ciphertext
+	err  error
+}
+
+// Wait blocks until the job has run and returns its output ciphertext
+// or execution error.
+func (f *Future) Wait() (*ckks.Ciphertext, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Done returns a channel closed when the result is available.
+func (f *Future) Done() <-chan struct{} { return f.done }
+
+type task struct {
+	job *Job
+	fut *Future
+}
+
+// Scheduler multiplexes independent HE jobs over a worker pool on one
+// simulated device. All methods are safe for concurrent use.
+type Scheduler struct {
+	params *ckks.Parameters
+	dev    *gpu.Device
+	cfg    Config
+	cache  *memcache.Cache
+	rlk    *ckks.RelinKey
+	gks    map[int]*ckks.GaloisKey
+
+	intake  chan *task
+	workers []*worker
+
+	dispWg sync.WaitGroup
+	workWg sync.WaitGroup
+
+	mu        sync.RWMutex // guards closed vs in-flight Submit sends
+	closed    bool
+	closeDone chan struct{} // closed once teardown has fully completed
+
+	statMu sync.Mutex
+	stats  Stats
+
+	outMu       sync.Mutex
+	outCond     *sync.Cond
+	outstanding int
+}
+
+type worker struct {
+	id      int
+	ctx     *core.Context
+	ch      chan []*task
+	pending atomic.Int64 // jobs queued or running on this worker
+}
+
+// New creates a scheduler on the device. The relinearization key is
+// required by every Mul/Square op; Galois keys are looked up per
+// rotation amount and may be nil if no job rotates.
+func New(params *ckks.Parameters, dev *gpu.Device, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Scheduler {
+	cfg = cfg.withDefaults(dev)
+	cfg.Core.DualTile = false // parallelism comes from the pool
+	s := &Scheduler{
+		params:    params,
+		dev:       dev,
+		cfg:       cfg,
+		cache:     memcache.New(dev, cfg.Core.MemCache),
+		rlk:       rlk,
+		gks:       gks,
+		intake:    make(chan *task, cfg.Workers*cfg.QueueDepth),
+		closeDone: make(chan struct{}),
+	}
+	s.outCond = sync.NewCond(&s.outMu)
+	s.stats.PerWorker = make([]int64, cfg.Workers)
+	multiQ := cfg.Workers > 1
+	for i := 0; i < cfg.Workers; i++ {
+		q := sycl.NewQueueOnTile(dev, i%dev.Spec.Tiles, cfg.Core.Codegen(), multiQ)
+		if cfg.Core.Blocking {
+			q.Raw().SetBlocking(true)
+		}
+		w := &worker{
+			id:  i,
+			ctx: core.NewContextOn(params, dev, cfg.Core, []*sycl.Queue{q}, s.cache),
+			ch:  make(chan []*task, cfg.QueueDepth),
+		}
+		s.workers = append(s.workers, w)
+		s.workWg.Add(1)
+		go s.runWorker(w)
+	}
+	s.dispWg.Add(1)
+	go s.dispatch()
+	return s
+}
+
+// Params returns the scheme parameters the scheduler was built for.
+func (s *Scheduler) Params() *ckks.Parameters { return s.params }
+
+// Device returns the underlying simulated device.
+func (s *Scheduler) Device() *gpu.Device { return s.dev }
+
+// Submit validates and enqueues a job, returning a Future for its
+// result. It blocks when the pipeline is saturated (backpressure) and
+// returns ErrClosed after Close.
+func (s *Scheduler) Submit(job *Job) (*Future, error) {
+	if err := job.Validate(s.params); err != nil {
+		return nil, err
+	}
+	for i, op := range job.Ops {
+		if op.Code == OpRotate {
+			if _, ok := s.gks[op.K]; !ok {
+				return nil, fmt.Errorf("sched: op %d rotates by %d but the scheduler has no Galois key for it", i, op.K)
+			}
+		}
+	}
+	t := &task{job: job, fut: &Future{done: make(chan struct{})}}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrClosed
+	}
+	s.outMu.Lock()
+	s.outstanding++
+	s.outMu.Unlock()
+	s.intake <- t // may block: backpressure
+	s.mu.RUnlock()
+	return t.fut, nil
+}
+
+// Drain blocks until every job submitted so far has completed. It does
+// not close the scheduler; new jobs may be submitted concurrently (in
+// which case Drain waits for those too).
+func (s *Scheduler) Drain() {
+	s.outMu.Lock()
+	for s.outstanding > 0 {
+		s.outCond.Wait()
+	}
+	s.outMu.Unlock()
+}
+
+// Close stops intake, waits for all pending jobs to finish, tears down
+// the pool and releases the buffer cache. It is idempotent, and every
+// call — including concurrent ones — returns only after the teardown
+// has fully completed.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.closeDone // another Close is tearing down; wait for it
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.intake)
+	s.dispWg.Wait() // dispatcher flushes everything and closes worker chans
+	s.workWg.Wait()
+	// ReleaseAll, not Release: a panicking op may have stranded its
+	// internal allocations in the used pool with no handle to free
+	// them through; all workers have stopped, so anything still
+	// checked out is such an orphan.
+	s.cache.ReleaseAll()
+	close(s.closeDone)
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	s.statMu.Lock()
+	st := s.stats
+	st.PerWorker = append([]int64(nil), s.stats.PerWorker...)
+	s.statMu.Unlock()
+	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	return st
+}
+
+// dispatch pulls tasks off the intake channel, groups whatever has
+// accumulated by shape, and hands batches to the least-loaded worker.
+// Batching is opportunistic: under light load every job ships alone
+// with no added latency; under heavy load same-shape jobs naturally
+// pile up in the intake buffer and coalesce.
+func (s *Scheduler) dispatch() {
+	defer s.dispWg.Done()
+	defer func() {
+		for _, w := range s.workers {
+			close(w.ch)
+		}
+	}()
+	maxDrain := s.cfg.Workers * s.cfg.MaxBatch
+	for {
+		t, ok := <-s.intake
+		if !ok {
+			return
+		}
+		// Greedily drain what else is already queued, preserving
+		// arrival order per shape.
+		pending := [][]*task{{t}}
+		index := map[string]int{t.job.ShapeKey(): 0}
+		total := 1
+	drain:
+		for total < maxDrain {
+			select {
+			case t2, ok := <-s.intake:
+				if !ok {
+					break drain
+				}
+				key := t2.job.ShapeKey()
+				if i, seen := index[key]; seen {
+					pending[i] = append(pending[i], t2)
+				} else {
+					index[key] = len(pending)
+					pending = append(pending, []*task{t2})
+				}
+				total++
+			default:
+				break drain
+			}
+		}
+		// Ship every shape group now (no timers, no starvation),
+		// chunked to MaxBatch.
+		for _, group := range pending {
+			for len(group) > 0 {
+				n := len(group)
+				if n > s.cfg.MaxBatch {
+					n = s.cfg.MaxBatch
+				}
+				w := s.leastLoaded()
+				w.pending.Add(int64(n))
+				w.ch <- group[:n] // may block: backpressure
+				group = group[n:]
+			}
+		}
+	}
+}
+
+// leastLoaded picks the worker with the fewest outstanding jobs
+// (queued or running — batch sizes counted, not just batch counts;
+// ties go to the lowest id, which also spreads load across tiles
+// since workers are pinned round-robin).
+func (s *Scheduler) leastLoaded() *worker {
+	best := s.workers[0]
+	for _, w := range s.workers[1:] {
+		if w.pending.Load() < best.pending.Load() {
+			best = w
+		}
+	}
+	return best
+}
+
+// staged is the device-side state of one job mid-batch.
+type staged struct {
+	t    *task
+	vals []*core.Ciphertext // inputs + intermediates, in value-list order
+	err  error
+}
+
+// runWorker executes batches: stage every job (uploads + full kernel
+// chain, asynchronously), then finish every job (download + free).
+// All staging happens before any download, so the host never blocks
+// between jobs mid-batch — the synchronizing downloads are deferred
+// to the batch tail, where the first wait absorbs most of the stall
+// and the rest find their events already complete.
+func (s *Scheduler) runWorker(w *worker) {
+	defer s.workWg.Done()
+	for batch := range w.ch {
+		// Record batch stats up front: jobDone on the batch's last job
+		// releases Drain, and Stats() must already see this batch then.
+		s.batchStarted(len(batch))
+		stagedJobs := make([]*staged, len(batch))
+		for i, t := range batch {
+			stagedJobs[i] = w.stage(s, t)
+		}
+		for _, sj := range stagedJobs {
+			w.finish(sj)
+			sj.t.fut.err = sj.err
+			close(sj.t.fut.done)
+			w.pending.Add(-1)
+			s.jobDone(w, sj.err != nil, len(batch))
+		}
+	}
+}
+
+// evalChain uploads a job's inputs and submits its whole op chain on
+// the context without host synchronization, returning the device value
+// list (inputs + intermediates; the last entry is the result). Every
+// value stays allocated until the caller frees it: later ops of a
+// DAG-shaped job may reference any earlier value. On panic the
+// partially built value list is returned alongside the error so the
+// caller can recycle the buffers.
+func evalChain(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job) (vals []*core.Ciphertext, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job panicked: %v", r)
+		}
+	}()
+	for _, in := range job.Inputs {
+		vals = append(vals, c.Upload(in))
+	}
+	for _, op := range job.Ops {
+		var r *core.Ciphertext
+		switch op.Code {
+		case OpAdd:
+			r = c.Add(vals[op.A], vals[op.B])
+		case OpMulRelin:
+			r = c.MulLin(vals[op.A], vals[op.B], rlk)
+		case OpMulRelinRescale:
+			r = c.MulLinRS(vals[op.A], vals[op.B], rlk)
+		case OpSquareRelinRescale:
+			r = c.SqrLinRS(vals[op.A], rlk)
+		case OpRotate:
+			gk, ok := gks[op.K]
+			if !ok {
+				panic(fmt.Sprintf("no Galois key for rotation %d", op.K))
+			}
+			r = c.RotateRoutine(vals[op.A], op.K, gk)
+		case OpModSwitch:
+			r = c.ModSwitch(vals[op.A])
+		}
+		vals = append(vals, r)
+	}
+	return vals, nil
+}
+
+// stage runs a job's chain on the worker's private context.
+func (w *worker) stage(s *Scheduler, t *task) *staged {
+	sj := &staged{t: t}
+	sj.vals, sj.err = evalChain(w.ctx, s.rlk, s.gks, t.job)
+	if sj.err != nil {
+		w.freeAll(sj)
+	}
+	return sj
+}
+
+// finish downloads the staged job's result (the batch's only
+// host-synchronizing step) and returns every device buffer to the
+// shared cache.
+func (w *worker) finish(sj *staged) {
+	if sj.err != nil {
+		return
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			sj.err = fmt.Errorf("sched: job download panicked: %v", r)
+		}
+		w.freeAll(sj)
+	}()
+	res := sj.vals[len(sj.vals)-1]
+	sj.t.fut.res = w.ctx.Download(res)
+}
+
+func (w *worker) freeAll(sj *staged) {
+	for _, v := range sj.vals {
+		if v != nil {
+			w.ctx.Free(v)
+		}
+	}
+	sj.vals = nil
+}
+
+func (s *Scheduler) jobDone(w *worker, failed bool, batchLen int) {
+	s.statMu.Lock()
+	s.stats.Jobs++
+	if failed {
+		s.stats.Failed++
+	}
+	if batchLen >= 2 {
+		s.stats.Coalesced++
+	}
+	s.stats.PerWorker[w.id]++
+	s.statMu.Unlock()
+	s.outMu.Lock()
+	s.outstanding--
+	if s.outstanding == 0 {
+		s.outCond.Broadcast()
+	}
+	s.outMu.Unlock()
+}
+
+func (s *Scheduler) batchStarted(n int) {
+	s.statMu.Lock()
+	s.stats.Batches++
+	if n > s.stats.MaxBatch {
+		s.stats.MaxBatch = n
+	}
+	s.statMu.Unlock()
+}

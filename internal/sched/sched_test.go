@@ -1,0 +1,287 @@
+package sched
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"xehe/internal/ckks"
+	"xehe/internal/core"
+	"xehe/internal/gpu"
+)
+
+// testHarness is shared across the package tests: key generation at
+// N=4096 is the expensive part, the harness itself is tiny.
+var (
+	harnessOnce sync.Once
+	harness     *Harness
+)
+
+func sharedHarness(t testing.TB) *Harness {
+	t.Helper()
+	harnessOnce.Do(func() {
+		harness = NewHarness(ckks.TestParameters(), 7, 1, 2, -1)
+	})
+	return harness
+}
+
+// schedConfig mirrors the serial reference context's core config so the
+// differential comparison runs both paths through identical kernels.
+func schedConfig(workers int) Config {
+	cfg := core.OptNTTAsm()
+	cfg.MemCache = true
+	return Config{Workers: workers, Core: cfg}
+}
+
+func newScheduler(t testing.TB, h *Harness, workers int) *Scheduler {
+	t.Helper()
+	s := New(h.Params, gpu.NewDevice1(), schedConfig(workers), h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(s.Close)
+	return s
+}
+
+func TestJobValidate(t *testing.T) {
+	h := sharedHarness(t)
+	p := h.Params
+	in := h.Encrypt(make([]complex128, p.Slots()))
+	low := h.Encrypt(make([]complex128, p.Slots()))
+	low.Level = 0 // pretend: level-0 input (structurally fine, blocks rescale)
+
+	cases := []struct {
+		name string
+		job  *Job
+		want string // substring of the error; empty = valid
+	}{
+		{"valid chain", func() *Job {
+			j := NewJob(in, in)
+			r := j.MulRelinRescale(0, 1)
+			j.Rotate(r, 1)
+			return j
+		}(), ""},
+		{"no inputs", &Job{Ops: []Op{{Code: OpAdd}}}, "no inputs"},
+		{"no ops", NewJob(in), "no ops"},
+		{"operand out of range", func() *Job {
+			j := NewJob(in)
+			j.Add(0, 3)
+			return j
+		}(), "out of range"},
+		{"level mismatch", func() *Job {
+			j := NewJob(in, in)
+			r := j.MulRelinRescale(0, 1) // level drops
+			j.Add(r, 0)
+			return j
+		}(), "level mismatch"},
+		{"add scale mismatch", func() *Job {
+			j := NewJob(in, in)
+			r := j.MulRelin(0, 1) // scale squares, level unchanged
+			j.Add(r, 0)
+			return j
+		}(), "scale mismatch"},
+		{"rescale at level 0", func() *Job {
+			j := NewJob(low)
+			j.SquareRelinRescale(0)
+			return j
+		}(), "level 0"},
+		{"tampered level vs components", func() *Job {
+			bad := h.Encrypt(make([]complex128, p.Slots()))
+			bad.Value = bad.Value[:2]
+			bad.Level = p.MaxLevel() // fine so far; now shrink the polys
+			for _, pv := range bad.Value {
+				pv.Coeffs = pv.Coeffs[:1] // 1 RNS component, level demands MaxLevel+1
+			}
+			j := NewJob(bad)
+			j.Add(0, 0)
+			return j
+		}(), "RNS components"},
+	}
+	for _, tc := range cases {
+		err := tc.job.Validate(p)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestSubmitRejectsMissingGaloisKey(t *testing.T) {
+	h := sharedHarness(t)
+	s := newScheduler(t, h, 1)
+	j := NewJob(h.Encrypt(make([]complex128, h.Params.Slots())))
+	j.Rotate(0, 7) // harness only has keys for 1 and 2
+	if _, err := s.Submit(j); err == nil || !strings.Contains(err.Error(), "Galois key") {
+		t.Fatalf("Submit = %v, want missing-Galois-key error", err)
+	}
+}
+
+func TestSchedulerMatchesSerialSingleJob(t *testing.T) {
+	h := sharedHarness(t)
+	s := newScheduler(t, h, 2)
+
+	vals := make([]complex128, h.Params.Slots())
+	for i := range vals {
+		vals[i] = complex(0.3, -0.1)
+	}
+	job := NewJob(h.Encrypt(vals), h.Encrypt(vals))
+	r := job.MulRelinRescale(0, 1)
+	job.Rotate(r, 1)
+
+	fut, err := s.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fut.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := h.RunSerial(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SameCiphertext(got, want); err != nil {
+		t.Fatalf("concurrent result diverges from serial path: %v", err)
+	}
+	wantPT := make([]complex128, len(vals))
+	for i := range wantPT {
+		wantPT[i] = vals[(i+1)%len(vals)] * vals[(i+1)%len(vals)]
+	}
+	if e := MaxSlotError(h.Decrypt(got), wantPT); e > 1e-3 {
+		t.Fatalf("slot error %g vs plaintext model", e)
+	}
+}
+
+func TestSchedulerDrainAndStats(t *testing.T) {
+	h := sharedHarness(t)
+	s := newScheduler(t, h, 2)
+	vals := make([]complex128, h.Params.Slots())
+	const jobs = 12
+	futs := make([]*Future, jobs)
+	for i := range futs {
+		j := NewJob(h.Encrypt(vals))
+		j.SquareRelinRescale(0)
+		var err error
+		futs[i], err = s.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	for i, f := range futs {
+		select {
+		case <-f.Done():
+		default:
+			t.Fatalf("job %d not done after Drain", i)
+		}
+	}
+	st := s.Stats()
+	if st.Jobs != jobs || st.Failed != 0 {
+		t.Fatalf("stats = %d jobs / %d failed, want %d/0", st.Jobs, st.Failed, jobs)
+	}
+	var sum int64
+	for _, n := range st.PerWorker {
+		sum += n
+	}
+	if sum != jobs {
+		t.Fatalf("per-worker counts sum to %d, want %d", sum, jobs)
+	}
+	if st.Batches == 0 || st.Batches > jobs {
+		t.Fatalf("batches = %d, want 1..%d", st.Batches, jobs)
+	}
+}
+
+func TestSubmitAfterCloseFails(t *testing.T) {
+	h := sharedHarness(t)
+	s := New(h.Params, gpu.NewDevice1(), schedConfig(1), h.RelinKey(), h.GaloisKeys())
+	s.Close()
+	s.Close() // idempotent
+	j := NewJob(h.Encrypt(make([]complex128, h.Params.Slots())))
+	j.Add(0, 0)
+	if _, err := s.Submit(j); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestBackpressureTinyQueues floods a 1-worker scheduler with minimal
+// queue depth: Submit must block rather than drop or deadlock, and all
+// jobs must complete.
+func TestBackpressureTinyQueues(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(1)
+	cfg.QueueDepth = 1
+	cfg.MaxBatch = 1
+	s := New(h.Params, gpu.NewDevice1(), cfg, h.RelinKey(), h.GaloisKeys())
+	defer s.Close()
+	vals := make([]complex128, h.Params.Slots())
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		j := NewJob(h.Encrypt(vals))
+		j.SquareRelinRescale(0)
+		if _, err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	if st := s.Stats(); st.Jobs != jobs || st.MaxBatch != 1 {
+		t.Fatalf("stats = %+v, want %d jobs with MaxBatch 1", st, jobs)
+	}
+}
+
+// TestBatchingCoalescesSameShape verifies that under load, same-shape
+// jobs are coalesced into batches. The dispatcher batches whatever has
+// accumulated, so with a single busy worker the backlog must coalesce;
+// a couple of attempts absorb scheduling jitter.
+func TestBatchingCoalescesSameShape(t *testing.T) {
+	h := sharedHarness(t)
+	vals := make([]complex128, h.Params.Slots())
+	for attempt := 0; attempt < 5; attempt++ {
+		s := New(h.Params, gpu.NewDevice1(), schedConfig(1), h.RelinKey(), h.GaloisKeys())
+		const jobs = 24
+		for i := 0; i < jobs; i++ {
+			j := NewJob(h.Encrypt(vals))
+			j.SquareRelinRescale(0)
+			if _, err := s.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Drain()
+		st := s.Stats()
+		s.Close()
+		if st.Jobs != jobs {
+			t.Fatalf("jobs = %d, want %d", st.Jobs, jobs)
+		}
+		if st.Coalesced > 0 && st.MaxBatch >= 2 && st.Batches < jobs {
+			return // observed coalescing
+		}
+	}
+	t.Fatal("no batch coalescing observed in 5 attempts of 24 same-shape jobs on 1 worker")
+}
+
+// TestShapeKeyDistinguishesChains pins the batching key: same chains
+// coincide, different levels or ops do not.
+func TestShapeKeyDistinguishesChains(t *testing.T) {
+	h := sharedHarness(t)
+	vals := make([]complex128, h.Params.Slots())
+	mk := func(build func(j *Job)) *Job {
+		j := NewJob(h.Encrypt(vals))
+		build(j)
+		return j
+	}
+	a := mk(func(j *Job) { j.SquareRelinRescale(0) })
+	b := mk(func(j *Job) { j.SquareRelinRescale(0) })
+	c := mk(func(j *Job) { j.Rotate(0, 1) })
+	if a.ShapeKey() != b.ShapeKey() {
+		t.Error("identical chains must share a shape key")
+	}
+	if a.ShapeKey() == c.ShapeKey() {
+		t.Error("different ops must not share a shape key")
+	}
+	d := mk(func(j *Job) { j.SquareRelinRescale(0) })
+	d.Inputs[0].Level-- // same ops, lower level
+	if a.ShapeKey() == d.ShapeKey() {
+		t.Error("different input levels must not share a shape key")
+	}
+}

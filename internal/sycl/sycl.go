@@ -26,6 +26,17 @@ func NewQueue(d *gpu.Device, cg isa.CodeGen) *Queue {
 	return &Queue{q: d.NewQueue(0), cg: cg}
 }
 
+// NewQueueOnTile creates a queue bound to a specific tile. When multiQ
+// is true the queue is part of an explicit multi-queue set and every
+// submission pays the multi-queue tax (Section III-C.2) — regardless
+// of the device's tile count: several queues contending on one tile
+// are still explicit multi-queue submission.
+func NewQueueOnTile(d *gpu.Device, tile int, cg isa.CodeGen, multiQ bool) *Queue {
+	gq := d.NewQueue(tile)
+	gq.SetMultiQueue(multiQ)
+	return &Queue{q: gq, cg: cg}
+}
+
 // NewQueuesAllTiles creates one queue per tile (explicit multi-tile
 // submission).
 func NewQueuesAllTiles(d *gpu.Device, cg isa.CodeGen) []*Queue {

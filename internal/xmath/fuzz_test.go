@@ -1,0 +1,108 @@
+package xmath
+
+import (
+	"math/big"
+	"testing"
+)
+
+// fuzzModulus derives a valid modulus (2 <= p < 2^MaxModulusBits) from
+// a raw fuzz input, so every input exercises the arithmetic instead of
+// the constructor panics.
+func fuzzModulus(raw uint64) Modulus {
+	p := raw % (uint64(1) << MaxModulusBits)
+	if p < 2 {
+		p += 2
+	}
+	return NewModulus(p)
+}
+
+// FuzzAddMod cross-checks AddMod and SubMod against math/big.
+func FuzzAddMod(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(17))
+	f.Add(uint64(1)<<59, uint64(1)<<59-1, uint64(1)<<60-1)
+	f.Add(uint64(12345678901234567), uint64(98765432109876543), uint64(1)<<45+59)
+	f.Fuzz(func(t *testing.T, ra, rb, rp uint64) {
+		m := fuzzModulus(rp)
+		p := m.Value
+		a, b := ra%p, rb%p
+
+		bigP := new(big.Int).SetUint64(p)
+		want := new(big.Int).SetUint64(a)
+		want.Add(want, new(big.Int).SetUint64(b)).Mod(want, bigP)
+		if got := AddMod(a, b, p); got != want.Uint64() {
+			t.Fatalf("AddMod(%d, %d, %d) = %d, want %d", a, b, p, got, want.Uint64())
+		}
+
+		want.SetUint64(a)
+		want.Sub(want, new(big.Int).SetUint64(b)).Mod(want, bigP)
+		if want.Sign() < 0 {
+			want.Add(want, bigP)
+		}
+		if got := SubMod(a, b, p); got != want.Uint64() {
+			t.Fatalf("SubMod(%d, %d, %d) = %d, want %d", a, b, p, got, want.Uint64())
+		}
+	})
+}
+
+// FuzzMulMod cross-checks the Barrett-reduction multiplication (and
+// the fused multiply-add-mod built on it) against math/big.
+func FuzzMulMod(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0), uint64(17))
+	f.Add(uint64(1)<<59, uint64(1)<<59-1, uint64(1)<<59-2, uint64(1)<<60-1)
+	f.Add(uint64(3), uint64(5), uint64(7), uint64(1)<<40+21)
+	f.Add(^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, ra, rb, rc, rp uint64) {
+		m := fuzzModulus(rp)
+		p := m.Value
+		a, b, c := ra%p, rb%p, rc%p
+		bigP := new(big.Int).SetUint64(p)
+
+		want := new(big.Int).SetUint64(a)
+		want.Mul(want, new(big.Int).SetUint64(b)).Mod(want, bigP)
+		if got := m.MulMod(a, b); got != want.Uint64() {
+			t.Fatalf("MulMod(%d, %d) mod %d = %d, want %d", a, b, p, got, want.Uint64())
+		}
+
+		// MAdMod must equal (a*b + c) mod p with one final reduction.
+		want.SetUint64(a)
+		want.Mul(want, new(big.Int).SetUint64(b))
+		want.Add(want, new(big.Int).SetUint64(c)).Mod(want, bigP)
+		if got := m.MAdMod(a, b, c); got != want.Uint64() {
+			t.Fatalf("MAdMod(%d, %d, %d) mod %d = %d, want %d", a, b, c, p, got, want.Uint64())
+		}
+
+		// BarrettReduce over an unconstrained 64-bit input.
+		want.SetUint64(ra)
+		want.Mod(want, bigP)
+		if got := m.BarrettReduce(ra); got != want.Uint64() {
+			t.Fatalf("BarrettReduce(%d) mod %d = %d, want %d", ra, p, got, want.Uint64())
+		}
+	})
+}
+
+// FuzzHarveyLazy cross-checks the preconditioned (lazy) multiplication
+// used by the NTT butterflies: the lazy result must lie in [0, 2p) and
+// reduce to the math/big product.
+func FuzzHarveyLazy(f *testing.F) {
+	f.Add(uint64(5), uint64(3), uint64(1)<<40+21)
+	f.Add(uint64(1)<<59, uint64(1)<<59-1, uint64(1)<<60-1)
+	f.Fuzz(func(t *testing.T, rw, ry, rp uint64) {
+		m := fuzzModulus(rp)
+		p := m.Value
+		w, y := rw%p, ry%p
+		op := NewMulModOperand(w, m)
+
+		lazy := op.MulModLazy(y, p)
+		if lazy >= 2*p {
+			t.Fatalf("MulModLazy(%d; w=%d, p=%d) = %d, outside [0, 2p)", y, w, p, lazy)
+		}
+		want := new(big.Int).SetUint64(w)
+		want.Mul(want, new(big.Int).SetUint64(y)).Mod(want, new(big.Int).SetUint64(p))
+		if got := lazy % p; got != want.Uint64() {
+			t.Fatalf("MulModLazy(%d; w=%d, p=%d) reduces to %d, want %d", y, w, p, got, want.Uint64())
+		}
+		if got := op.MulMod(y, p); got != want.Uint64() {
+			t.Fatalf("operand MulMod(%d; w=%d, p=%d) = %d, want %d", y, w, p, got, want.Uint64())
+		}
+	})
+}

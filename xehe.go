@@ -6,6 +6,8 @@
 // fused mad_mod, a device memory cache, an asynchronous execution
 // pipeline, and explicit multi-tile submission.
 //
+// # Quickstart
+//
 // The public API mirrors the SEAL-style flow of Fig. 1: encode and
 // encrypt on the CPU, evaluate on the (simulated) GPU, then decrypt and
 // decode on the CPU:
@@ -17,6 +19,39 @@
 //	ct := kit.Encrypt(values)
 //	res := he.MulRelinRescale(ct, ct)
 //	out := kit.Decrypt(res)
+//
+// # Concurrent service
+//
+// For serving many independent workloads, Service multiplexes jobs
+// over a goroutine worker pool: each worker owns an in-order queue
+// pinned to one of the device's tiles, all workers recycle buffers
+// through a shared device memory cache, and same-shape jobs are
+// coalesced into batches whose kernel chains are all staged before
+// any result is downloaded — the host stalls only at the batch tail
+// rather than between jobs. Submit blocks when the pipeline is
+// saturated (backpressure):
+//
+//	svc := xehe.NewService(params, kit, xehe.Device1, xehe.ServiceConfig{Workers: 4})
+//	defer svc.Close()
+//
+//	job := xehe.NewJob(kit.Encrypt(a), kit.Encrypt(b))
+//	r := job.MulRelinRescale(0, 1) // value indices: 0, 1 are the inputs
+//	job.Rotate(r, 1)               // the last op's result is the output
+//
+//	fut, err := svc.Submit(job)
+//	// ... submit more jobs, from any goroutine ...
+//	ct, err := fut.Wait()
+//	out := kit.Decrypt(ct)
+//
+// The correctness of the concurrent path is pinned by a differential
+// harness (internal/sched): randomized job chains must reproduce the
+// serial single-queue pipeline bit-for-bit and decrypt to the
+// plaintext model within CKKS noise. Run it race-enabled with
+//
+//	go test -race ./internal/sched/...
+//
+// (or `make test-race`, which also covers the memory cache and the
+// GPU simulator).
 package xehe
 
 import (
@@ -24,6 +59,7 @@ import (
 	"xehe/internal/core"
 	"xehe/internal/gpu"
 	"xehe/internal/ntt"
+	"xehe/internal/sched"
 )
 
 // DeviceKind selects one of the two simulated Intel GPUs of the paper.
@@ -148,15 +184,17 @@ type GPUEvaluator struct {
 	ctx    *core.Context
 }
 
+// deviceFor builds a fresh simulated device for the kind.
+func deviceFor(dev DeviceKind) *gpu.Device {
+	if dev == Device2 {
+		return gpu.NewDevice2()
+	}
+	return gpu.NewDevice1()
+}
+
 // NewGPUEvaluator creates an evaluator on the chosen device.
 func NewGPUEvaluator(params *Parameters, kit *KeyKit, dev DeviceKind, cfg Config) *GPUEvaluator {
-	var d *gpu.Device
-	if dev == Device2 {
-		d = gpu.NewDevice2()
-	} else {
-		d = gpu.NewDevice1()
-	}
-	return &GPUEvaluator{params: params, kit: kit, ctx: core.NewContext(params.inner, d, cfg)}
+	return &GPUEvaluator{params: params, kit: kit, ctx: core.NewContext(params.inner, deviceFor(dev), cfg)}
 }
 
 // Context exposes the underlying backend context (device clocks,
@@ -164,14 +202,7 @@ func NewGPUEvaluator(params *Parameters, kit *KeyKit, dev DeviceKind, cfg Config
 func (e *GPUEvaluator) Context() *core.Context { return e.ctx }
 
 // SimulatedSeconds returns the simulated wall-clock consumed so far.
-func (e *GPUEvaluator) SimulatedSeconds() float64 {
-	d := e.ctx.Device
-	t := d.DeviceTime()
-	if h := d.HostTime(); h > t {
-		t = h
-	}
-	return d.Seconds(t)
-}
+func (e *GPUEvaluator) SimulatedSeconds() float64 { return e.ctx.Device.SimulatedSeconds() }
 
 // run uploads inputs, applies op on the device, downloads the result.
 func (e *GPUEvaluator) run(op func() *core.Ciphertext, ins ...*core.Ciphertext) *Ciphertext {
@@ -218,6 +249,106 @@ func (e *GPUEvaluator) Rotate(a *Ciphertext, k int) *Ciphertext {
 	da := e.ctx.Upload(a)
 	return e.run(func() *core.Ciphertext { return e.ctx.RotateRoutine(da, k, gk) }, da)
 }
+
+// Job is an independent HE workload: encrypted inputs plus a chain (or
+// DAG) of evaluation ops. Build it with NewJob and the op methods
+// (Add, MulRelin, MulRelinRescale, SquareRelinRescale, Rotate,
+// ModSwitch); each returns the value index of its result so later ops
+// can reference it. The last op's result is the job's output.
+type Job = sched.Job
+
+// NewJob starts a job over the given encrypted inputs (value indices
+// 0..len(inputs)-1).
+func NewJob(inputs ...*Ciphertext) *Job { return sched.NewJob(inputs...) }
+
+// Pending is the in-flight handle of a submitted job; Wait blocks for
+// the result.
+type Pending = sched.Future
+
+// ServiceStats snapshots the scheduler counters: jobs, batches,
+// coalescing, per-worker load and cache hit rates.
+type ServiceStats = sched.Stats
+
+// ServiceConfig tunes the concurrent service. Zero values select
+// defaults: one worker per device tile, queue depth 8, batches of up
+// to 8 same-shape jobs, and the paper's full optimization stack as the
+// backend.
+type ServiceConfig struct {
+	// Workers is the goroutine pool size; workers are pinned
+	// round-robin to the device's tiles. Default: the tile count.
+	Workers int
+	// QueueDepth bounds each worker's queue of batches — each entry
+	// holds up to MaxBatch jobs — and scales the intake buffer; when
+	// every queue is full, Submit blocks (backpressure). Default 8.
+	QueueDepth int
+	// MaxBatch caps how many same-shape jobs are coalesced into one
+	// batch; 1 disables batching. Default 8.
+	MaxBatch int
+	// Backend overrides the per-worker backend configuration; nil
+	// selects ConfigOptimized. (A pointer, so the naive baseline —
+	// whose Config is the zero value — stays selectable. Tile
+	// parallelism comes from the pool, so DualTile is ignored either
+	// way.)
+	Backend *Config
+}
+
+// Service evaluates independent HE jobs concurrently on one simulated
+// GPU: Submit from any goroutine, Wait on the returned Pending (or
+// Service.Wait for everything), Close to tear down. See the package
+// documentation for the execution model.
+type Service struct {
+	dev *gpu.Device
+	s   *sched.Scheduler
+}
+
+// NewService builds a concurrent evaluation service on the chosen
+// device.
+func NewService(params *Parameters, kit *KeyKit, dev DeviceKind, sc ServiceConfig) *Service {
+	d := deviceFor(dev)
+	backend := ConfigOptimized()
+	if sc.Backend != nil {
+		backend = *sc.Backend
+	}
+	cfg := sched.Config{
+		Workers:    sc.Workers,
+		QueueDepth: sc.QueueDepth,
+		MaxBatch:   sc.MaxBatch,
+		Core:       backend,
+	}
+	return &Service{
+		dev: d,
+		s:   sched.New(params.inner, d, cfg, kit.rlk, kit.gks),
+	}
+}
+
+// Submit validates and enqueues a job. It blocks when the pipeline is
+// saturated and returns an error for malformed jobs (bad operand
+// indices, level/scale mismatches, missing rotation keys) or after
+// Close.
+func (s *Service) Submit(job *Job) (*Pending, error) { return s.s.Submit(job) }
+
+// Wait blocks until every job submitted so far has completed.
+func (s *Service) Wait() { s.s.Drain() }
+
+// Close drains pending jobs, stops the worker pool and releases the
+// device buffer cache. It is idempotent; Submit afterwards returns an
+// error.
+func (s *Service) Close() { s.s.Close() }
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() ServiceStats { return s.s.Stats() }
+
+// SimulatedSeconds returns the simulated wall-clock consumed on the
+// device so far (the busiest of host and tile timelines).
+func (s *Service) SimulatedSeconds() float64 { return s.dev.SimulatedSeconds() }
+
+// ResetSimClocks zeroes the simulated device clocks (allocation
+// statistics are preserved), so steady-state throughput can be
+// measured after a warm-up phase has populated the buffer cache (cold
+// driver allocations serialize the pipeline). Call it only while the
+// service is idle — after Wait and before the next Submit — otherwise
+// in-flight timing is corrupted.
+func (s *Service) ResetSimClocks() { s.dev.ResetClocks() }
 
 func itoa(v int) string {
 	if v < 0 {

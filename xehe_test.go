@@ -3,6 +3,7 @@ package xehe
 import (
 	"math/cmplx"
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -94,4 +95,130 @@ func TestRotateWithoutKeyPanics(t *testing.T) {
 		}
 	}()
 	he.Rotate(ct, 3)
+}
+
+// TestServiceFacade drives the concurrent Service end to end: mixed
+// jobs submitted from several goroutines, decrypted results checked
+// against the plaintext expectations.
+func TestServiceFacade(t *testing.T) {
+	params, kit := fixture(t)
+	svc := NewService(params, kit, Device1, ServiceConfig{Workers: 3})
+	defer svc.Close()
+
+	a := randVec(params.Slots(), 6)
+	b := randVec(params.Slots(), 7)
+	cta, ctb := kit.Encrypt(a), kit.Encrypt(b)
+
+	type testCase struct {
+		job  *Job
+		want func(i int) complex128
+	}
+	cases := []testCase{
+		{func() *Job {
+			j := NewJob(cta, ctb)
+			j.Add(0, 1)
+			return j
+		}(), func(i int) complex128 { return a[i] + b[i] }},
+		{func() *Job {
+			j := NewJob(cta, ctb)
+			j.MulRelinRescale(0, 1)
+			return j
+		}(), func(i int) complex128 { return a[i] * b[i] }},
+		{func() *Job {
+			j := NewJob(cta)
+			r := j.SquareRelinRescale(0)
+			j.Rotate(r, 1)
+			return j
+		}(), func(i int) complex128 {
+			x := a[(i+1)%len(a)]
+			return x * x
+		}},
+	}
+
+	futs := make([]*Pending, len(cases))
+	errs := make([]error, len(cases))
+	var wg sync.WaitGroup
+	for i, tc := range cases {
+		wg.Add(1)
+		go func(i int, job *Job) {
+			defer wg.Done()
+			futs[i], errs[i] = svc.Submit(job)
+		}(i, tc.job)
+	}
+	wg.Wait()
+	svc.Wait()
+
+	for i, tc := range cases {
+		if errs[i] != nil {
+			t.Fatalf("case %d: submit: %v", i, errs[i])
+		}
+		ct, err := futs[i].Wait()
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got := kit.Decrypt(ct)
+		for s := 0; s < params.Slots(); s++ {
+			if cmplx.Abs(got[s]-tc.want(s)) > 1e-3 {
+				t.Fatalf("case %d slot %d: %v, want %v", i, s, got[s], tc.want(s))
+			}
+		}
+	}
+	if st := svc.Stats(); st.Jobs != int64(len(cases)) || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want %d jobs, 0 failed", st, len(cases))
+	}
+	if svc.SimulatedSeconds() <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+}
+
+// TestServiceRejectsMalformedJobs covers the validation surface of the
+// public API.
+func TestServiceRejectsMalformedJobs(t *testing.T) {
+	params, kit := fixture(t)
+	svc := NewService(params, kit, Device2, ServiceConfig{Workers: 1})
+	defer svc.Close()
+	ct := kit.Encrypt(randVec(params.Slots(), 8))
+
+	if _, err := svc.Submit(NewJob(ct)); err == nil {
+		t.Error("job with no ops must be rejected")
+	}
+	j := NewJob(ct)
+	j.Add(0, 5)
+	if _, err := svc.Submit(j); err == nil {
+		t.Error("out-of-range operand must be rejected")
+	}
+	j2 := NewJob(ct)
+	j2.Rotate(0, 9) // fixture only generates the key for rotation 1
+	if _, err := svc.Submit(j2); err == nil {
+		t.Error("rotation without Galois key must be rejected")
+	}
+}
+
+// TestServiceBackendOverride pins that the naive baseline — whose
+// Config is the zero value — is selectable through ServiceConfig
+// (regression: a value-typed Backend field silently replaced it with
+// the optimized stack).
+func TestServiceBackendOverride(t *testing.T) {
+	params, kit := fixture(t)
+	ct := kit.Encrypt(randVec(params.Slots(), 9))
+	run := func(backend Config) float64 {
+		cfg := backend
+		svc := NewService(params, kit, Device1, ServiceConfig{Workers: 1, Backend: &cfg})
+		defer svc.Close()
+		j := NewJob(ct)
+		j.SquareRelinRescale(0)
+		fut, err := svc.Submit(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fut.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		return svc.SimulatedSeconds()
+	}
+	naive := run(ConfigNaive())
+	opt := run(ConfigOptimized())
+	if opt >= naive {
+		t.Fatalf("optimized backend (%v s) must beat naive (%v s); naive override was ignored", opt, naive)
+	}
 }
