@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-service clean
+.PHONY: all build vet test test-race bench bench-smoke bench-service bench-cluster clean
 
 all: build test
 
@@ -26,11 +26,25 @@ test-race:
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
+# Fast CI gate: one pass over the scheduler and cluster throughput
+# benchmarks plus the machine-readable sweep, so a perf-destroying
+# regression (or a broken -json contract) fails the pipeline without
+# paying for the full benchmark matrix.
+bench-smoke:
+	$(GO) test -bench 'Benchmark(Service|Cluster)Throughput' -benchtime 50x -run '^$$' .
+	$(GO) run ./cmd/xehe-bench -cluster 50 -json
+
 # Throughput sweep of the concurrent scheduler (jobs/sec at 1, 2, 4
 # and 8 workers, host and simulated).
 bench-service:
 	$(GO) test -bench BenchmarkServiceThroughput -run '^$$' .
 	$(GO) run ./cmd/xehe-bench -service 200
+
+# Multi-device cluster sweep (1/2/4x Device1 and the heterogeneous
+# Device1+Device2 mix).
+bench-cluster:
+	$(GO) test -bench BenchmarkClusterThroughput -run '^$$' .
+	$(GO) run ./cmd/xehe-bench -cluster 200
 
 clean:
 	$(GO) clean ./...

@@ -7,9 +7,12 @@
 //	xehe-bench -fig 12         # one figure (5, 12, 13, 14a, 14b, 15, 16, 17, 18, 19)
 //	xehe-bench -tab 1          # Table I
 //	xehe-bench -service 200    # concurrent-scheduler throughput sweep
+//	xehe-bench -cluster 200    # multi-device cluster sweep (1/2/4 devices + heterogeneous)
+//	xehe-bench -cluster 200 -json  # same, as machine-readable JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,10 +27,16 @@ func main() {
 	fig := flag.String("fig", "", "figure to reproduce: 5, 12, 13, 14a, 14b, 15, 16, 17, 18, 19, 'scaling' (multi-GPU extension), or 'all'")
 	tab := flag.String("tab", "", "table to reproduce: 1")
 	service := flag.Int("service", 0, "run the concurrent-scheduler throughput sweep with this many jobs per worker count")
+	cluster := flag.Int("cluster", 0, "run the multi-device cluster throughput sweep with this many jobs per configuration")
+	jsonOut := flag.Bool("json", false, "emit -service/-cluster results as machine-readable JSON instead of tables")
 	flag.Parse()
 
 	if *service > 0 {
-		serviceThroughput(*service)
+		serviceThroughput(*service, *jsonOut)
+		return
+	}
+	if *cluster > 0 {
+		clusterThroughput(*cluster, *jsonOut)
 		return
 	}
 
@@ -83,35 +92,74 @@ func main() {
 	}
 }
 
-// serviceThroughput sweeps the concurrent batch scheduler (xehe.Service)
-// over worker counts on both devices: each run submits `jobs`
-// MulRelinRescale+Rotate jobs, reporting host wall-clock throughput and
-// simulated device throughput. Workers pin round-robin to tiles, so
-// the sweep extends the paper's explicit dual-tile submission
-// (Fig. 14b) from one split kernel to many independent jobs.
-func serviceThroughput(jobs int) {
+// throughputResult is one row of a -service or -cluster sweep, shaped
+// for machine consumption (-json) of the BENCH_* trajectory.
+type throughputResult struct {
+	Bench         string  `json:"bench"`   // "service" or "cluster"
+	Config        string  `json:"config"`  // device or cluster layout
+	Workers       int     `json:"workers,omitempty"` // pool size; omitted when defaulted per device
+	Devices       int     `json:"devices"`
+	Jobs          int     `json:"jobs"`
+	JobsPerSec    float64 `json:"jobs_per_sec"`     // host wall-clock
+	SimJobsPerSec float64 `json:"sim_jobs_per_sec"` // simulated device time
+	Batches       int64   `json:"batches"`
+	Coalesced     int64   `json:"coalesced"`
+	Routed        []int64 `json:"routed,omitempty"` // per-shard job counts (cluster only)
+}
+
+func emitResults(results []throughputResult) {
+	enc := json.NewEncoder(os.Stdout)
+	for _, r := range results {
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// benchInputs builds the shared job ingredients of both sweeps.
+func benchInputs() (*xehe.Parameters, *xehe.KeyKit, *xehe.Ciphertext, *xehe.Ciphertext) {
 	params := xehe.NewParameters(xehe.ParamsDemo())
 	kit := xehe.GenerateKeys(params, 17, 1)
 	v := make([]complex128, params.Slots())
 	for i := range v {
 		v[i] = complex(0.25, 0.1)
 	}
-	cta, ctb := kit.Encrypt(v), kit.Encrypt(v)
+	return params, kit, kit.Encrypt(v), kit.Encrypt(v)
+}
 
-	fmt.Printf("concurrent scheduler throughput (%d jobs per config; job = MulRelinRS + Rotate at N=4096, L=4)\n", jobs)
+func buildJob(cta, ctb *xehe.Ciphertext) *xehe.Job {
+	job := xehe.NewJob(cta, ctb)
+	r := job.MulRelinRescale(0, 1)
+	job.Rotate(r, 1)
+	return job
+}
+
+// serviceThroughput sweeps the concurrent batch scheduler (xehe.Service)
+// over worker counts on both devices: each run submits `jobs`
+// MulRelinRescale+Rotate jobs, reporting host wall-clock throughput and
+// simulated device throughput. Workers pin round-robin to tiles, so
+// the sweep extends the paper's explicit dual-tile submission
+// (Fig. 14b) from one split kernel to many independent jobs.
+func serviceThroughput(jobs int, jsonOut bool) {
+	params, kit, cta, ctb := benchInputs()
+	var results []throughputResult
+
+	if !jsonOut {
+		fmt.Printf("concurrent scheduler throughput (%d jobs per config; job = MulRelinRS + Rotate at N=4096, L=4)\n", jobs)
+	}
 	for _, dev := range []struct {
 		kind xehe.DeviceKind
 		name string
 	}{{xehe.Device1, "Device1 (2 tiles)"}, {xehe.Device2, "Device2 (1 tile)"}} {
-		fmt.Printf("\n%-18s %8s %12s %14s %10s %10s\n", dev.name, "workers", "jobs/sec", "sim-jobs/sec", "batches", "coalesced")
+		if !jsonOut {
+			fmt.Printf("\n%-18s %8s %12s %14s %10s %10s\n", dev.name, "workers", "jobs/sec", "sim-jobs/sec", "batches", "coalesced")
+		}
 		for _, workers := range []int{1, 2, 4, 8} {
 			svc := xehe.NewService(params, kit, dev.kind, xehe.ServiceConfig{Workers: workers})
 			submit := func(n int) {
 				for i := 0; i < n; i++ {
-					job := xehe.NewJob(cta, ctb)
-					r := job.MulRelinRescale(0, 1)
-					job.Rotate(r, 1)
-					if _, err := svc.Submit(job); err != nil {
+					if _, err := svc.Submit(buildJob(cta, ctb)); err != nil {
 						fmt.Fprintf(os.Stderr, "submit: %v\n", err)
 						os.Exit(1)
 					}
@@ -130,10 +178,83 @@ func serviceThroughput(jobs int) {
 			svc.Wait()
 			wall := time.Since(start).Seconds()
 			st := svc.Stats()
-			fmt.Printf("%-18s %8d %12.1f %14.0f %10d %10d\n", "",
-				workers, float64(jobs)/wall, float64(jobs)/svc.SimulatedSeconds(),
-				st.Batches-warm.Batches, st.Coalesced-warm.Coalesced)
+			r := throughputResult{
+				Bench: "service", Config: dev.name, Workers: workers, Devices: 1, Jobs: jobs,
+				JobsPerSec: float64(jobs) / wall, SimJobsPerSec: float64(jobs) / svc.SimulatedSeconds(),
+				Batches: st.Batches - warm.Batches, Coalesced: st.Coalesced - warm.Coalesced,
+			}
+			results = append(results, r)
+			if !jsonOut {
+				fmt.Printf("%-18s %8d %12.1f %14.0f %10d %10d\n", "",
+					r.Workers, r.JobsPerSec, r.SimJobsPerSec, r.Batches, r.Coalesced)
+			}
 			svc.Close()
 		}
+	}
+	if jsonOut {
+		emitResults(results)
+	}
+}
+
+// clusterThroughput sweeps the multi-device router (xehe.Cluster) over
+// 1, 2 and 4 Device1 shards plus a heterogeneous Device1+Device2 mix.
+// Throughput is reported against the busiest shard's simulated
+// timeline — the cluster's wall clock when every device runs in
+// parallel.
+func clusterThroughput(jobs int, jsonOut bool) {
+	params, kit, cta, ctb := benchInputs()
+	var results []throughputResult
+
+	layouts := []struct {
+		name string
+		devs []xehe.DeviceKind
+	}{
+		{"1x Device1", []xehe.DeviceKind{xehe.Device1}},
+		{"2x Device1", []xehe.DeviceKind{xehe.Device1, xehe.Device1}},
+		{"4x Device1", []xehe.DeviceKind{xehe.Device1, xehe.Device1, xehe.Device1, xehe.Device1}},
+		{"Device1 + Device2", []xehe.DeviceKind{xehe.Device1, xehe.Device2}},
+	}
+	if !jsonOut {
+		fmt.Printf("multi-device cluster throughput (%d jobs per layout; job = MulRelinRS + Rotate at N=4096, L=4)\n\n", jobs)
+		fmt.Printf("%-18s %8s %12s %14s %10s %16s\n", "layout", "devices", "jobs/sec", "sim-jobs/sec", "batches", "routed")
+	}
+	for _, l := range layouts {
+		cl := xehe.NewCluster(params, kit, l.devs, xehe.ClusterConfig{WarmBuffers: 32})
+		submit := func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := cl.Submit(buildJob(cta, ctb)); err != nil {
+					fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		submit(8 * len(l.devs))
+		cl.Wait()
+		cl.ResetSimClocks()
+		warm := cl.Stats()
+		start := time.Now()
+		submit(jobs)
+		cl.Wait()
+		wall := time.Since(start).Seconds()
+		st := cl.Stats()
+		routed := make([]int64, len(st.Routed))
+		for i := range routed {
+			routed[i] = st.Routed[i] - warm.Routed[i]
+		}
+		r := throughputResult{
+			Bench: "cluster", Config: l.name, Devices: len(l.devs), Jobs: jobs,
+			JobsPerSec: float64(jobs) / wall, SimJobsPerSec: float64(jobs) / cl.SimulatedSeconds(),
+			Batches: st.Batches - warm.Batches, Coalesced: st.Coalesced - warm.Coalesced,
+			Routed: routed,
+		}
+		results = append(results, r)
+		if !jsonOut {
+			fmt.Printf("%-18s %8d %12.1f %14.0f %10d %16v\n",
+				l.name, r.Devices, r.JobsPerSec, r.SimJobsPerSec, r.Batches, routed)
+		}
+		cl.Close()
+	}
+	if jsonOut {
+		emitResults(results)
 	}
 }

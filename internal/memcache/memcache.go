@@ -98,6 +98,27 @@ func (c *Cache) Free(buf *sycl.Buffer) {
 	c.free[i] = e
 }
 
+// Warm pre-populates the free pool with n buffers of size words each,
+// paying the driver allocation cost up front — at construction, while
+// nothing is in flight — so the hot path never falls through to the
+// driver for this working set (runtime allocations synchronize with
+// in-flight work and serialize the pipeline). Warm allocations do not
+// count toward the hit/miss statistics; with the cache disabled Warm is
+// a no-op.
+func (c *Cache) Warm(n, size int) {
+	if !c.enabled || n <= 0 || size <= 0 {
+		return
+	}
+	entries := make([]*entry, n)
+	for i := range entries {
+		entries[i] = &entry{buf: sycl.MallocDevice(c.dev, size), cap: size}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := sort.Search(len(c.free), func(i int) bool { return c.free[i].cap >= size })
+	c.free = append(c.free[:i], append(entries, c.free[i:]...)...)
+}
+
 // Stats returns cache hits and misses (driver allocations).
 func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()

@@ -34,6 +34,40 @@ func TestReuseAvoidsDriverAllocation(t *testing.T) {
 	}
 }
 
+func TestWarmPreloadsFreePool(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	c.Warm(8, 1024)
+	if n := c.FreeCount(); n != 8 {
+		t.Fatalf("free pool = %d buffers after Warm, want 8", n)
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("Warm counted toward stats: %d hits/%d misses", hits, misses)
+	}
+	if _, _, count := d.AllocStats(); count != 8 {
+		t.Fatalf("driver allocations = %d, want 8", count)
+	}
+	// Every request at or under the warm size must now be a hit with no
+	// further driver traffic.
+	for i := 0; i < 8; i++ {
+		c.Free(c.Malloc(512 + 64*i))
+	}
+	hits, misses := c.Stats()
+	if hits != 8 || misses != 0 {
+		t.Fatalf("post-warm traffic = %d hits/%d misses, want 8/0", hits, misses)
+	}
+	if _, _, count := d.AllocStats(); count != 8 {
+		t.Fatalf("driver allocations grew to %d after warm", count)
+	}
+
+	// Warm on a disabled cache is a no-op.
+	off := New(gpu.NewDevice2(), false)
+	off.Warm(4, 1024)
+	if off.FreeCount() != 0 {
+		t.Fatal("Warm on a disabled cache populated the pool")
+	}
+}
+
 func TestDisabledCachePassesThrough(t *testing.T) {
 	d := gpu.NewDevice1()
 	c := New(d, false)

@@ -1,0 +1,245 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"xehe/internal/ckks"
+	"xehe/internal/gpu"
+)
+
+// ErrNoShards is returned by Cluster.Submit when every shard has been
+// taken out of rotation but the cluster itself is still open.
+var ErrNoShards = errors.New("sched: cluster has no open shards")
+
+// Cluster shards independent HE jobs across several devices: one
+// Scheduler per device (each with its own worker pool, tile queues and
+// buffer cache), fronted by a weighted least-loaded router. This is the
+// functional counterpart of the analytic multi-GPU model in
+// internal/gpu/scaling.go — the paper names multi-GPU and heterogeneous
+// platforms as future work, and heterogeneous mixes (Device1 +
+// Device2) are explicitly supported: routing weights come from each
+// device's peak throughput (gpu.ClusterWeight), so a fast device
+// absorbs proportionally more of a uniform load.
+//
+// Jobs are independent, so any shard may execute any job; the simulated
+// kernels are deterministic, which makes results identical regardless
+// of the routing decision (pinned by the cluster differential test).
+// All methods are safe for concurrent use.
+type Cluster struct {
+	params *ckks.Parameters
+	shards []*shard
+
+	mu        sync.RWMutex // guards closed vs in-flight Submit routing
+	closed    bool
+	closeDone chan struct{}
+}
+
+// shard is one device's scheduler plus its routing state.
+type shard struct {
+	id     int
+	sched  *Scheduler
+	weight float64
+	closed atomic.Bool  // out of rotation (CloseShard or cluster Close)
+	routed atomic.Int64 // jobs ever routed here
+}
+
+// NewCluster builds a router over one scheduler per device. cfg applies
+// per shard; a zero Workers count defaults to each device's own tile
+// count, so heterogeneous devices get differently sized pools. The
+// rotation-key lookup table is replicated per shard at construction
+// (each shard's scheduler owns its own map; the key material itself is
+// immutable host-side data, shared read-only). On real hardware this
+// construction step is where each device would receive its own key
+// upload.
+func NewCluster(params *ckks.Parameters, devs []*gpu.Device, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Cluster {
+	if len(devs) == 0 {
+		panic("sched: cluster needs at least one device")
+	}
+	c := &Cluster{params: params, closeDone: make(chan struct{})}
+	for i, dev := range devs {
+		replica := make(map[int]*ckks.GaloisKey, len(gks))
+		for k, v := range gks {
+			replica[k] = v
+		}
+		c.shards = append(c.shards, &shard{
+			id:     i,
+			sched:  New(params, dev, cfg, rlk, replica),
+			weight: gpu.ClusterWeight(&dev.Spec),
+		})
+	}
+	return c
+}
+
+// Params returns the scheme parameters the cluster was built for.
+func (c *Cluster) Params() *ckks.Parameters { return c.params }
+
+// Shards returns the number of shards (open or not).
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// pickWeighted is the routing policy: the open shard with the smallest
+// (load+1)/weight ratio wins (ties go to the lowest index). loads are
+// outstanding job counts, weights the devices' relative throughput; the
+// +1 prices the candidate job itself, so an idle slow device still
+// loses to a fast device with little backlog, and a uniform stream
+// splits proportionally to the weights. Returns -1 when every shard is
+// closed.
+func pickWeighted(loads []int64, weights []float64, open []bool) int {
+	best := -1
+	var bestCost float64
+	for i := range loads {
+		if !open[i] {
+			continue
+		}
+		cost := float64(loads[i]+1) / weights[i]
+		if best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return best
+}
+
+// pick routes one job, or returns nil when no shard is open.
+func (c *Cluster) pick() *shard {
+	loads := make([]int64, len(c.shards))
+	weights := make([]float64, len(c.shards))
+	open := make([]bool, len(c.shards))
+	for i, sh := range c.shards {
+		loads[i] = sh.sched.Outstanding()
+		weights[i] = sh.weight
+		open[i] = !sh.closed.Load()
+	}
+	if i := pickWeighted(loads, weights, open); i >= 0 {
+		return c.shards[i]
+	}
+	return nil
+}
+
+// Submit validates and enqueues a job on the least-loaded open shard
+// (weighted by device throughput), returning a Future for its result.
+// It blocks when the chosen shard's pipeline is saturated
+// (backpressure) and returns ErrClosed after Close.
+func (c *Cluster) Submit(job *Job) (*Future, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	for {
+		sh := c.pick()
+		if sh == nil {
+			return nil, ErrNoShards
+		}
+		fut, err := sh.sched.Submit(job)
+		if err == ErrClosed {
+			// The shard was closed between pick and submit; drop it
+			// from rotation and route elsewhere.
+			sh.closed.Store(true)
+			continue
+		}
+		if err == nil {
+			sh.routed.Add(1)
+		}
+		return fut, err
+	}
+}
+
+// Drain blocks until every job submitted so far has completed on every
+// shard. Like Scheduler.Drain it does not stop intake.
+func (c *Cluster) Drain() {
+	for _, sh := range c.shards {
+		sh.sched.Drain()
+	}
+}
+
+// CloseShard takes one shard out of rotation and closes its scheduler,
+// draining the jobs already routed there — e.g. to retire a failing
+// device without stopping the cluster. It is idempotent per shard;
+// with every shard closed, Submit returns ErrNoShards.
+func (c *Cluster) CloseShard(i int) {
+	sh := c.shards[i]
+	sh.closed.Store(true)
+	sh.sched.Close()
+}
+
+// Close stops intake, then closes all shards concurrently (each drains
+// its pending jobs and releases its buffer cache). It is idempotent,
+// and every call returns only after the teardown has fully completed.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.closeDone
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, sh := range c.shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			sh.closed.Store(true)
+			sh.sched.Close()
+		}(sh)
+	}
+	wg.Wait()
+	close(c.closeDone)
+}
+
+// ClusterStats aggregates the scheduler counters across shards: the
+// embedded Stats sums jobs, failures, batches and cache traffic over
+// the whole cluster (MaxBatch is the maximum, PerWorker concatenates
+// the shards' pools in shard order); PerShard and Routed break the
+// same numbers down by shard.
+type ClusterStats struct {
+	Stats
+	PerShard []Stats
+	Routed   []int64 // jobs routed to each shard by the router
+}
+
+// Stats returns a snapshot of the aggregate and per-shard counters.
+func (c *Cluster) Stats() ClusterStats {
+	cs := ClusterStats{
+		PerShard: make([]Stats, len(c.shards)),
+		Routed:   make([]int64, len(c.shards)),
+	}
+	for i, sh := range c.shards {
+		st := sh.sched.Stats()
+		cs.PerShard[i] = st
+		cs.Routed[i] = sh.routed.Load()
+		cs.Jobs += st.Jobs
+		cs.Failed += st.Failed
+		cs.Batches += st.Batches
+		cs.Coalesced += st.Coalesced
+		cs.CacheHits += st.CacheHits
+		cs.CacheMisses += st.CacheMisses
+		if st.MaxBatch > cs.MaxBatch {
+			cs.MaxBatch = st.MaxBatch
+		}
+		cs.PerWorker = append(cs.PerWorker, st.PerWorker...)
+	}
+	return cs
+}
+
+// SimulatedSeconds returns the cluster's simulated wall-clock: the
+// busiest shard's timeline, since the devices run in parallel.
+func (c *Cluster) SimulatedSeconds() float64 {
+	var max float64
+	for _, sh := range c.shards {
+		if s := sh.sched.Backend().SimulatedSeconds(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// ResetSimClocks zeroes every shard's simulated clocks (allocation
+// statistics preserved), for steady-state measurement after a warm-up.
+// Call it only while the cluster is idle.
+func (c *Cluster) ResetSimClocks() {
+	for _, sh := range c.shards {
+		sh.sched.Backend().ResetClocks()
+	}
+}

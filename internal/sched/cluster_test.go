@@ -1,0 +1,336 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"xehe/internal/ckks"
+	"xehe/internal/core"
+	"xehe/internal/gpu"
+)
+
+// newTestCluster builds a cluster over the given devices with the same
+// core config as the serial reference context, so differential
+// comparisons run identical kernels.
+func newTestCluster(t testing.TB, h *Harness, workers int, devs ...*gpu.Device) *Cluster {
+	t.Helper()
+	c := NewCluster(h.Params, devs, schedConfig(workers), h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestClusterDifferentialHeterogeneous is the cluster acceptance
+// harness: randomized job chains are submitted concurrently to a
+// heterogeneous Device1+Device2 cluster, and every result must match
+// the serial core.Context path bit-for-bit — regardless of which shard
+// the router picked — and decrypt to the plaintext model. Run with
+// -race (make test-race).
+func TestClusterDifferentialHeterogeneous(t *testing.T) {
+	h := sharedHarness(t)
+	const (
+		nJobs      = 24
+		maxOps     = 6
+		submitters = 4
+	)
+	rng := rand.New(rand.NewSource(4321))
+	cases := make([]*Case, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, maxOps)
+	}
+
+	c := newTestCluster(t, h, 2, gpu.NewDevice1(), gpu.NewDevice2())
+
+	futs := make([]*Future, nJobs)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < nJobs; i += submitters {
+				fut, err := c.Submit(cases[i].Job)
+				if err != nil {
+					t.Errorf("job %d: submit: %v", i, err)
+					return
+				}
+				futs[i] = fut
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("submission failed")
+	}
+
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v (ops %v)", i, err, cases[i].Job.Ops)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatalf("job %d: serial reference: %v", i, err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: cluster vs serial ciphertext mismatch: %v (ops %v)", i, err, cases[i].Job.Ops)
+		}
+		if e := MaxSlotError(h.Decrypt(got), cases[i].Expected); e > differentialEps {
+			t.Fatalf("job %d: slot error %g > %g", i, e, differentialEps)
+		}
+	}
+
+	st := c.Stats()
+	if st.Jobs != nJobs || st.Failed != 0 {
+		t.Fatalf("aggregate stats = %d jobs / %d failed, want %d/0", st.Jobs, st.Failed, nJobs)
+	}
+	var routed int64
+	for _, r := range st.Routed {
+		routed += r
+	}
+	if routed != nJobs {
+		t.Fatalf("routed counts sum to %d, want %d", routed, nJobs)
+	}
+	// Both shards must have been exercised: Device1's weight is ~4.7x
+	// Device2's, but 24 jobs with completions in between spread across
+	// both under the least-loaded policy.
+	for i, r := range st.Routed {
+		if r == 0 {
+			t.Errorf("shard %d received no jobs (routed %v)", i, st.Routed)
+		}
+	}
+	t.Logf("cluster differential: %d jobs, routed %v, per-shard jobs %v",
+		st.Jobs, st.Routed, []int64{st.PerShard[0].Jobs, st.PerShard[1].Jobs})
+}
+
+// TestPickWeightedProportional pins the routing policy deterministically:
+// a 2:1 throughput-weighted pair under a uniform arrival stream (load
+// increments on pick, no completions) must receive jobs in ~2:1
+// proportion.
+func TestPickWeightedProportional(t *testing.T) {
+	weights := []float64{2, 1}
+	loads := []int64{0, 0}
+	open := []bool{true, true}
+	counts := []int64{0, 0}
+	const n = 300
+	for i := 0; i < n; i++ {
+		k := pickWeighted(loads, weights, open)
+		if k < 0 {
+			t.Fatalf("pick %d returned -1 with open shards", i)
+		}
+		loads[k]++
+		counts[k]++
+	}
+	// Exact steady state is 200/100; allow a small transient margin.
+	if counts[0] < 190 || counts[0] > 210 {
+		t.Fatalf("2:1 weighted pair split %v over %d picks, want ~2:1", counts, n)
+	}
+	if counts[0]+counts[1] != n {
+		t.Fatalf("counts %v do not sum to %d", counts, n)
+	}
+}
+
+// TestPickWeightedSkipsClosed pins that the policy never targets a
+// closed shard, even when it is idle and fast, and reports -1 only
+// when everything is closed.
+func TestPickWeightedSkipsClosed(t *testing.T) {
+	weights := []float64{10, 1, 1}
+	loads := []int64{0, 50, 60}
+	open := []bool{false, true, true}
+	for i := 0; i < 100; i++ {
+		k := pickWeighted(loads, weights, open)
+		if k == 0 {
+			t.Fatal("picked the closed shard")
+		}
+		loads[k]++
+	}
+	if k := pickWeighted(loads, weights, []bool{false, false, false}); k != -1 {
+		t.Fatalf("pick over all-closed shards = %d, want -1", k)
+	}
+}
+
+// TestClusterNeverRoutesToClosedShard closes one shard mid-stream and
+// verifies the router stops sending work there while the cluster keeps
+// serving.
+func TestClusterNeverRoutesToClosedShard(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 1, gpu.NewDevice1(), gpu.NewDevice1())
+	vals := make([]complex128, h.Params.Slots())
+
+	submit := func(n int) {
+		for i := 0; i < n; i++ {
+			j := NewJob(h.Encrypt(vals))
+			j.SquareRelinRescale(0)
+			if _, err := c.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	submit(6)
+	c.Drain()
+	c.CloseShard(0)
+	before := c.Stats().Routed[0]
+	submit(8)
+	c.Drain()
+	st := c.Stats()
+	if st.Routed[0] != before {
+		t.Fatalf("closed shard 0 received %d more jobs", st.Routed[0]-before)
+	}
+	if st.Jobs != 14 || st.Failed != 0 {
+		t.Fatalf("stats = %d jobs / %d failed, want 14/0", st.Jobs, st.Failed)
+	}
+
+	c.CloseShard(1)
+	j := NewJob(h.Encrypt(vals))
+	j.SquareRelinRescale(0)
+	if _, err := c.Submit(j); err != ErrNoShards {
+		t.Fatalf("Submit with all shards closed = %v, want ErrNoShards", err)
+	}
+}
+
+// TestClusterSubmitAfterClose is the regression for the shard-failure
+// satellite: Close must be idempotent (including concurrently) and
+// Submit afterwards must return an error, never panic.
+func TestClusterSubmitAfterClose(t *testing.T) {
+	h := sharedHarness(t)
+	c := NewCluster(h.Params, []*gpu.Device{gpu.NewDevice1(), gpu.NewDevice2()},
+		schedConfig(1), h.RelinKey(), h.GaloisKeys())
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); c.Close() }()
+	}
+	wg.Wait()
+	j := NewJob(h.Encrypt(make([]complex128, h.Params.Slots())))
+	j.Add(0, 0)
+	if _, err := c.Submit(j); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestJobFailureSurfacesWithoutWedging forces a runtime failure inside
+// a worker (a structurally valid rotation whose Galois key is broken,
+// which panics in the key-switch kernel) and verifies the shard-failure
+// contract: the error surfaces through that job's Future.Wait with a
+// descriptive message, healthy jobs racing alongside still succeed,
+// and Drain/Close complete instead of wedging.
+func TestJobFailureSurfacesWithoutWedging(t *testing.T) {
+	h := sharedHarness(t)
+	gks := map[int]*ckks.GaloisKey{}
+	for k, v := range h.GaloisKeys() {
+		gks[k] = v
+	}
+	gks[5] = &ckks.GaloisKey{} // present (passes Submit), panics at run time
+	cfg := core.OptNTTAsm()
+	cfg.MemCache = true
+	s := New(h.Params, gpu.NewDevice1(), Config{Workers: 2, Core: cfg}, h.RelinKey(), gks)
+
+	vals := make([]complex128, h.Params.Slots())
+	bad := NewJob(h.Encrypt(vals))
+	bad.Rotate(0, 5)
+	good := NewJob(h.Encrypt(vals))
+	good.SquareRelinRescale(0)
+
+	badFut, err := s.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	goodFut, err := s.Submit(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s.Drain() // must not wedge on the failed job
+	if _, err := goodFut.Wait(); err != nil {
+		t.Fatalf("healthy job failed: %v", err)
+	}
+	_, err = badFut.Wait()
+	if err == nil {
+		t.Fatal("broken-key job reported success")
+	}
+	for _, want := range []string{"op 0", "Rotate", "panicked"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q not descriptive: missing %q", err, want)
+		}
+	}
+	if st := s.Stats(); st.Failed != 1 || st.Jobs != 2 {
+		t.Fatalf("stats = %d jobs / %d failed, want 2/1", st.Jobs, st.Failed)
+	}
+
+	s.Close() // must not wedge either, and must reclaim stranded buffers
+	if _, err := s.Submit(good); err != ErrClosed {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+}
+
+// TestWarmBuffersPreloadsPool pins the WarmBuffers knob: the free pool
+// holds the configured working set right after construction, the warm
+// allocations stay out of the hit/miss stats, and a subsequent job run
+// is served entirely from the pool (zero cache misses).
+func TestWarmBuffersPreloadsPool(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(2)
+	cfg.WarmBuffers = 64 // above the 2-worker working set of this job mix
+	s := New(h.Params, gpu.NewDevice1(), cfg, h.RelinKey(), h.GaloisKeys())
+	defer s.Close()
+
+	cache := s.Backend().Cache()
+	if n := cache.FreeCount(); n != 64 {
+		t.Fatalf("free pool holds %d buffers after construction, want 64", n)
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("warming polluted stats: %d hits / %d misses", hits, misses)
+	}
+
+	vals := make([]complex128, h.Params.Slots())
+	for i := 0; i < 4; i++ {
+		j := NewJob(h.Encrypt(vals), h.Encrypt(vals))
+		r := j.MulRelinRescale(0, 1)
+		j.Rotate(r, 1)
+		if _, err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Drain()
+	hits, misses := cache.Stats()
+	if misses != 0 {
+		t.Fatalf("%d cache misses with a pre-warmed pool (hits %d); working-set size regressed", misses, hits)
+	}
+	if hits == 0 {
+		t.Fatal("no cache traffic recorded; jobs did not run through the pool")
+	}
+}
+
+// TestClusterStatsAggregate pins the aggregate accounting: shard-level
+// numbers must sum to the cluster totals.
+func TestClusterStatsAggregate(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 2, gpu.NewDevice1(), gpu.NewDevice2())
+	vals := make([]complex128, h.Params.Slots())
+	const jobs = 10
+	for i := 0; i < jobs; i++ {
+		j := NewJob(h.Encrypt(vals))
+		j.SquareRelinRescale(0)
+		if _, err := c.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	st := c.Stats()
+	if st.Jobs != jobs {
+		t.Fatalf("aggregate jobs = %d, want %d", st.Jobs, jobs)
+	}
+	var shardJobs, perWorker int64
+	for _, ps := range st.PerShard {
+		shardJobs += ps.Jobs
+	}
+	for _, n := range st.PerWorker {
+		perWorker += n
+	}
+	if shardJobs != jobs || perWorker != jobs {
+		t.Fatalf("per-shard sums to %d, per-worker to %d, want %d", shardJobs, perWorker, jobs)
+	}
+	if c.SimulatedSeconds() <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+}

@@ -1,15 +1,18 @@
 // Package sched is a concurrent batch scheduler for the XeHE backend:
 // it multiplexes many independent HE workloads (Mul/Relin/Rescale/
 // Rotate chains) across multiple queues and tiles of one simulated GPU
-// using a goroutine worker pool.
+// using a goroutine worker pool, and — via Cluster — shards them
+// across several devices behind a weighted least-loaded router.
 //
 // Design (extending the paper's single-stream pipeline of Fig. 2 to a
 // serving scenario):
 //
-//   - Each worker owns one in-order queue pinned to a tile
-//     (round-robin over the device's tiles) and a private core.Context,
-//     so the asynchronous in-order pipeline state never crosses
-//     goroutines.
+//   - The scheduler targets an abstract execution Backend (tiles,
+//     per-worker contexts, shared cache, clocks); DeviceBackend binds
+//     it to one simulated GPU. Each worker owns one in-order queue
+//     pinned to a tile (round-robin over the backend's tiles) and a
+//     private core.Context, so the asynchronous in-order pipeline
+//     state never crosses goroutines.
 //   - All workers share one device memory cache (internal/memcache),
 //     so buffers freed by one job are recycled by the next regardless
 //     of which worker runs it — the Fig. 11 cache applied fleet-wide.
@@ -25,6 +28,11 @@
 //     dispatch blocks, the intake channel fills, and Submit blocks —
 //     backpressure propagates to the caller instead of growing an
 //     unbounded backlog.
+//   - Cluster puts one full scheduler on each of several devices
+//     (heterogeneous mixes allowed) and routes every job to the open
+//     shard with the smallest load/throughput ratio; the simulated
+//     kernels are deterministic, so results are bit-identical
+//     regardless of which shard ran a job.
 package sched
 
 import (

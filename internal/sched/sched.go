@@ -9,8 +9,6 @@ import (
 	"xehe/internal/ckks"
 	"xehe/internal/core"
 	"xehe/internal/gpu"
-	"xehe/internal/memcache"
-	"xehe/internal/sycl"
 )
 
 // ErrClosed is returned by Submit after Close has been called.
@@ -30,15 +28,22 @@ type Config struct {
 	// MaxBatch caps how many same-shape jobs are coalesced into one
 	// batch. Default 8; 1 disables batching.
 	MaxBatch int
+	// WarmBuffers pre-populates the shared buffer cache with this many
+	// working-set-sized buffers at construction, so the steady-state
+	// pipeline never pays a driver allocation (cold-start allocations
+	// synchronize with in-flight work and serialize the pipeline at
+	// high worker counts). 0 disables pre-warming; it is also a no-op
+	// when Core.MemCache is off.
+	WarmBuffers int
 	// Core configures the per-worker backend contexts (NTT variant,
 	// inline assembly, memory cache, ...). Config.Core.DualTile is
 	// ignored: tile parallelism comes from the worker pool itself.
 	Core core.Config
 }
 
-func (c Config) withDefaults(dev *gpu.Device) Config {
+func (c Config) withDefaults(tiles int) Config {
 	if c.Workers <= 0 {
-		c.Workers = dev.Spec.Tiles
+		c.Workers = tiles
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
@@ -83,14 +88,14 @@ type task struct {
 }
 
 // Scheduler multiplexes independent HE jobs over a worker pool on one
-// simulated device. All methods are safe for concurrent use.
+// execution backend (a single simulated device, via DeviceBackend).
+// All methods are safe for concurrent use.
 type Scheduler struct {
-	params *ckks.Parameters
-	dev    *gpu.Device
-	cfg    Config
-	cache  *memcache.Cache
-	rlk    *ckks.RelinKey
-	gks    map[int]*ckks.GaloisKey
+	params  *ckks.Parameters
+	backend Backend
+	cfg     Config
+	rlk     *ckks.RelinKey
+	gks     map[int]*ckks.GaloisKey
 
 	intake  chan *task
 	workers []*worker
@@ -117,33 +122,43 @@ type worker struct {
 	pending atomic.Int64 // jobs queued or running on this worker
 }
 
-// New creates a scheduler on the device. The relinearization key is
-// required by every Mul/Square op; Galois keys are looked up per
-// rotation amount and may be nil if no job rotates.
+// New creates a scheduler on the device (wrapped in a DeviceBackend).
+// The relinearization key is required by every Mul/Square op; Galois
+// keys are looked up per rotation amount and may be nil if no job
+// rotates.
 func New(params *ckks.Parameters, dev *gpu.Device, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Scheduler {
-	cfg = cfg.withDefaults(dev)
+	return NewOn(params, NewDeviceBackend(dev, cfg.Core.MemCache), cfg, rlk, gks)
+}
+
+// NewOn creates a scheduler on an abstract execution backend. The
+// scheduler owns the backend from here on: Close releases it.
+func NewOn(params *ckks.Parameters, backend Backend, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Scheduler {
+	cfg = cfg.withDefaults(backend.Tiles())
 	cfg.Core.DualTile = false // parallelism comes from the pool
 	s := &Scheduler{
 		params:    params,
-		dev:       dev,
+		backend:   backend,
 		cfg:       cfg,
-		cache:     memcache.New(dev, cfg.Core.MemCache),
 		rlk:       rlk,
 		gks:       gks,
 		intake:    make(chan *task, cfg.Workers*cfg.QueueDepth),
 		closeDone: make(chan struct{}),
 	}
+	// Pre-warm the buffer pool before any worker can race a cold
+	// allocation against in-flight work. The largest buffers the
+	// pipeline requests hold level+2 RNS components (the key-switch
+	// accumulators: full chain + special component); best-fit reuse
+	// lets every smaller request ride the same pool.
+	if cfg.WarmBuffers > 0 {
+		backend.Cache().Warm(cfg.WarmBuffers, (params.MaxLevel()+2)*params.N)
+	}
 	s.outCond = sync.NewCond(&s.outMu)
 	s.stats.PerWorker = make([]int64, cfg.Workers)
 	multiQ := cfg.Workers > 1
 	for i := 0; i < cfg.Workers; i++ {
-		q := sycl.NewQueueOnTile(dev, i%dev.Spec.Tiles, cfg.Core.Codegen(), multiQ)
-		if cfg.Core.Blocking {
-			q.Raw().SetBlocking(true)
-		}
 		w := &worker{
 			id:  i,
-			ctx: core.NewContextOn(params, dev, cfg.Core, []*sycl.Queue{q}, s.cache),
+			ctx: backend.WorkerContext(params, cfg.Core, i, multiQ),
 			ch:  make(chan []*task, cfg.QueueDepth),
 		}
 		s.workers = append(s.workers, w)
@@ -158,8 +173,8 @@ func New(params *ckks.Parameters, dev *gpu.Device, cfg Config, rlk *ckks.RelinKe
 // Params returns the scheme parameters the scheduler was built for.
 func (s *Scheduler) Params() *ckks.Parameters { return s.params }
 
-// Device returns the underlying simulated device.
-func (s *Scheduler) Device() *gpu.Device { return s.dev }
+// Backend returns the scheduler's execution backend.
+func (s *Scheduler) Backend() Backend { return s.backend }
 
 // Submit validates and enqueues a job, returning a Future for its
 // result. It blocks when the pipeline is saturated (backpressure) and
@@ -216,12 +231,20 @@ func (s *Scheduler) Close() {
 	close(s.intake)
 	s.dispWg.Wait() // dispatcher flushes everything and closes worker chans
 	s.workWg.Wait()
-	// ReleaseAll, not Release: a panicking op may have stranded its
-	// internal allocations in the used pool with no handle to free
-	// them through; all workers have stopped, so anything still
-	// checked out is such an orphan.
-	s.cache.ReleaseAll()
+	// Release reclaims orphans too (ReleaseAll under the hood): a
+	// panicking op may have stranded its internal allocations in the
+	// used pool with no handle to free them through; all workers have
+	// stopped, so anything still checked out is such an orphan.
+	s.backend.Release()
 	close(s.closeDone)
+}
+
+// Outstanding returns the number of submitted jobs that have not yet
+// completed. The cluster router uses it as the shard load signal.
+func (s *Scheduler) Outstanding() int64 {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	return int64(s.outstanding)
 }
 
 // Stats returns a snapshot of the scheduler counters.
@@ -230,7 +253,7 @@ func (s *Scheduler) Stats() Stats {
 	st := s.stats
 	st.PerWorker = append([]int64(nil), s.stats.PerWorker...)
 	s.statMu.Unlock()
-	st.CacheHits, st.CacheMisses = s.cache.Stats()
+	st.CacheHits, st.CacheMisses = s.backend.Cache().Stats()
 	return st
 }
 
@@ -348,15 +371,21 @@ func (s *Scheduler) runWorker(w *worker) {
 // partially built value list is returned alongside the error so the
 // caller can recycle the buffers.
 func evalChain(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job) (vals []*core.Ciphertext, err error) {
+	stage := -1 // -1 = uploading inputs; >= 0 = op index being evaluated
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("sched: job panicked: %v", r)
+			if stage < 0 {
+				err = fmt.Errorf("sched: job input upload panicked: %v", r)
+			} else {
+				err = fmt.Errorf("sched: job op %d (%v) panicked: %v", stage, job.Ops[stage].Code, r)
+			}
 		}
 	}()
 	for _, in := range job.Inputs {
 		vals = append(vals, c.Upload(in))
 	}
-	for _, op := range job.Ops {
+	for i, op := range job.Ops {
+		stage = i
 		var r *core.Ciphertext
 		switch op.Code {
 		case OpAdd:

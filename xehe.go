@@ -43,10 +43,30 @@
 //	ct, err := fut.Wait()
 //	out := kit.Decrypt(ct)
 //
-// The correctness of the concurrent path is pinned by a differential
-// harness (internal/sched): randomized job chains must reproduce the
-// serial single-queue pipeline bit-for-bit and decrypt to the
-// plaintext model within CKKS noise. Run it race-enabled with
+// # Multi-device cluster
+//
+// Cluster scales the same Submit/Wait/Close surface across several
+// devices — the multi-GPU / heterogeneous-platform direction the paper
+// names as future work. Each device is one shard: a full scheduler
+// with its own worker pool, tile queues, buffer cache and replicated
+// keys. A front-end router sends every job to the least-loaded shard,
+// weighted by device throughput, so a heterogeneous Device1+Device2
+// pair splits a uniform load roughly in proportion to their peak
+// GIOPS:
+//
+//	cl := xehe.NewCluster(params, kit,
+//		[]xehe.DeviceKind{xehe.Device1, xehe.Device1, xehe.Device2},
+//		xehe.ClusterConfig{WarmBuffers: 16})
+//	defer cl.Close()
+//
+//	fut, err := cl.Submit(job) // routed to whichever shard is least loaded
+//	ct, err := fut.Wait()
+//
+// The correctness of the concurrent and sharded paths is pinned by a
+// differential harness (internal/sched): randomized job chains must
+// reproduce the serial single-queue pipeline bit-for-bit — regardless
+// of which shard executed them — and decrypt to the plaintext model
+// within CKKS noise. Run it race-enabled with
 //
 //	go test -race ./internal/sched/...
 //
@@ -184,13 +204,16 @@ type GPUEvaluator struct {
 	ctx    *core.Context
 }
 
-// deviceFor builds a fresh simulated device for the kind.
-func deviceFor(dev DeviceKind) *gpu.Device {
+// specFor maps the public device kind to its hardware spec.
+func specFor(dev DeviceKind) gpu.DeviceSpec {
 	if dev == Device2 {
-		return gpu.NewDevice2()
+		return gpu.Device2Spec()
 	}
-	return gpu.NewDevice1()
+	return gpu.Device1Spec()
 }
+
+// deviceFor builds a fresh simulated device for the kind.
+func deviceFor(dev DeviceKind) *gpu.Device { return gpu.NewDevice(specFor(dev)) }
 
 // NewGPUEvaluator creates an evaluator on the chosen device.
 func NewGPUEvaluator(params *Parameters, kit *KeyKit, dev DeviceKind, cfg Config) *GPUEvaluator {
@@ -284,12 +307,32 @@ type ServiceConfig struct {
 	// MaxBatch caps how many same-shape jobs are coalesced into one
 	// batch; 1 disables batching. Default 8.
 	MaxBatch int
+	// WarmBuffers pre-populates the device buffer cache with this many
+	// working-set-sized buffers at construction, so steady-state jobs
+	// never pay a cold driver allocation (runtime allocations
+	// synchronize with in-flight work and serialize the pipeline at
+	// high worker counts). 0 disables pre-warming.
+	WarmBuffers int
 	// Backend overrides the per-worker backend configuration; nil
 	// selects ConfigOptimized. (A pointer, so the naive baseline —
 	// whose Config is the zero value — stays selectable. Tile
 	// parallelism comes from the pool, so DualTile is ignored either
 	// way.)
 	Backend *Config
+}
+
+func (sc ServiceConfig) schedConfig() sched.Config {
+	backend := ConfigOptimized()
+	if sc.Backend != nil {
+		backend = *sc.Backend
+	}
+	return sched.Config{
+		Workers:     sc.Workers,
+		QueueDepth:  sc.QueueDepth,
+		MaxBatch:    sc.MaxBatch,
+		WarmBuffers: sc.WarmBuffers,
+		Core:        backend,
+	}
 }
 
 // Service evaluates independent HE jobs concurrently on one simulated
@@ -305,19 +348,9 @@ type Service struct {
 // device.
 func NewService(params *Parameters, kit *KeyKit, dev DeviceKind, sc ServiceConfig) *Service {
 	d := deviceFor(dev)
-	backend := ConfigOptimized()
-	if sc.Backend != nil {
-		backend = *sc.Backend
-	}
-	cfg := sched.Config{
-		Workers:    sc.Workers,
-		QueueDepth: sc.QueueDepth,
-		MaxBatch:   sc.MaxBatch,
-		Core:       backend,
-	}
 	return &Service{
 		dev: d,
-		s:   sched.New(params.inner, d, cfg, kit.rlk, kit.gks),
+		s:   sched.New(params.inner, d, sc.schedConfig(), kit.rlk, kit.gks),
 	}
 }
 
@@ -349,6 +382,92 @@ func (s *Service) SimulatedSeconds() float64 { return s.dev.SimulatedSeconds() }
 // service is idle — after Wait and before the next Submit — otherwise
 // in-flight timing is corrupted.
 func (s *Service) ResetSimClocks() { s.dev.ResetClocks() }
+
+// ClusterStats snapshots the cluster counters: the embedded aggregate
+// plus per-shard breakdowns and the router's per-shard job counts.
+type ClusterStats = sched.ClusterStats
+
+// Cluster shards independent HE jobs across several simulated devices:
+// each device gets its own scheduler (worker pool, tile queues, buffer
+// cache, replicated keys), and a front-end router assigns every job to
+// the least-loaded shard weighted by device throughput — a fast
+// Device1 absorbs proportionally more of a uniform load than a
+// Device2. The Submit/Wait/Close surface matches Service, so a service
+// scales from one device to a heterogeneous cluster by swapping the
+// constructor:
+//
+//	cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device2}, xehe.ClusterConfig{})
+//	defer cl.Close()
+//
+//	fut, err := cl.Submit(job) // any shard may run it; results are identical
+//	ct, err := fut.Wait()
+//
+// Results are bit-for-bit independent of the routing decision (the
+// simulated kernels are deterministic), pinned by the cluster
+// differential harness in internal/sched.
+type Cluster struct {
+	cl *sched.Cluster
+}
+
+// ClusterConfig tunes the multi-device cluster. The fields are
+// ServiceConfig's, applied to every shard independently; in particular
+// a zero Workers count defaults to each shard device's own tile count,
+// so heterogeneous devices get differently sized pools.
+type ClusterConfig = ServiceConfig
+
+// NewCluster builds a cluster service over one fresh simulated device
+// per kind (heterogeneous mixes allowed). Key material from kit is
+// replicated to every shard at construction.
+func NewCluster(params *Parameters, kit *KeyKit, devs []DeviceKind, cc ClusterConfig) *Cluster {
+	specs := make([]gpu.DeviceSpec, len(devs))
+	for i, kind := range devs {
+		specs[i] = specFor(kind)
+	}
+	return &Cluster{cl: sched.NewCluster(params.inner, gpu.Cluster(specs...), cc.schedConfig(), kit.rlk, kit.gks)}
+}
+
+// ErrClosed is returned by Submit after the service or cluster has
+// been closed.
+var ErrClosed = sched.ErrClosed
+
+// ErrNoShards is returned by Cluster.Submit when every shard has been
+// retired via CloseShard but the cluster itself is still open.
+var ErrNoShards = sched.ErrNoShards
+
+// Submit validates and enqueues a job on the least-loaded open shard.
+// It blocks when that shard's pipeline is saturated (backpressure) and
+// returns an error for malformed jobs, ErrClosed after Close, or
+// ErrNoShards when every shard has been retired.
+func (c *Cluster) Submit(job *Job) (*Pending, error) { return c.cl.Submit(job) }
+
+// CloseShard takes shard i out of rotation and closes its scheduler,
+// draining the jobs already routed there — e.g. to retire a failing
+// device without stopping the cluster. It is idempotent per shard;
+// once every shard is retired, Submit returns ErrNoShards.
+func (c *Cluster) CloseShard(i int) { c.cl.CloseShard(i) }
+
+// Wait blocks until every job submitted so far has completed on every
+// shard.
+func (c *Cluster) Wait() { c.cl.Drain() }
+
+// Close drains pending jobs on all shards, stops their worker pools
+// and releases their buffer caches. It is idempotent; Submit afterwards
+// returns an error.
+func (c *Cluster) Close() { c.cl.Close() }
+
+// Stats returns a snapshot of the aggregate and per-shard counters.
+func (c *Cluster) Stats() ClusterStats { return c.cl.Stats() }
+
+// Shards returns the number of devices in the cluster.
+func (c *Cluster) Shards() int { return c.cl.Shards() }
+
+// SimulatedSeconds returns the cluster's simulated wall-clock: the
+// busiest shard's timeline (the devices run in parallel).
+func (c *Cluster) SimulatedSeconds() float64 { return c.cl.SimulatedSeconds() }
+
+// ResetSimClocks zeroes every shard's simulated clocks; call it only
+// while the cluster is idle (see Service.ResetSimClocks).
+func (c *Cluster) ResetSimClocks() { c.cl.ResetSimClocks() }
 
 func itoa(v int) string {
 	if v < 0 {

@@ -171,6 +171,77 @@ func TestServiceFacade(t *testing.T) {
 	}
 }
 
+// TestClusterFacade drives the multi-device Cluster end to end over a
+// heterogeneous device mix: jobs submitted from several goroutines,
+// decrypted results checked against the plaintext model, aggregate and
+// per-shard stats consistent, Close idempotent.
+func TestClusterFacade(t *testing.T) {
+	params, kit := fixture(t)
+	cl := NewCluster(params, kit, []DeviceKind{Device1, Device2}, ClusterConfig{WarmBuffers: 8})
+	defer cl.Close()
+	if cl.Shards() != 2 {
+		t.Fatalf("shards = %d, want 2", cl.Shards())
+	}
+
+	a := randVec(params.Slots(), 20)
+	b := randVec(params.Slots(), 21)
+	cta, ctb := kit.Encrypt(a), kit.Encrypt(b)
+
+	const jobs = 12
+	futs := make([]*Pending, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j := NewJob(cta, ctb)
+			r := j.MulRelinRescale(0, 1)
+			j.Rotate(r, 1)
+			futs[i], errs[i] = cl.Submit(j)
+		}(i)
+	}
+	wg.Wait()
+	cl.Wait()
+
+	for i := 0; i < jobs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("job %d: submit: %v", i, errs[i])
+		}
+		ct, err := futs[i].Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		got := kit.Decrypt(ct)
+		for s := 0; s < params.Slots(); s++ {
+			want := a[(s+1)%len(a)] * b[(s+1)%len(a)]
+			if cmplx.Abs(got[s]-want) > 1e-3 {
+				t.Fatalf("job %d slot %d: %v, want %v", i, s, got[s], want)
+			}
+		}
+	}
+
+	st := cl.Stats()
+	if st.Jobs != jobs || st.Failed != 0 {
+		t.Fatalf("aggregate stats = %d jobs / %d failed, want %d/0", st.Jobs, st.Failed, jobs)
+	}
+	var routed int64
+	for _, r := range st.Routed {
+		routed += r
+	}
+	if routed != jobs {
+		t.Fatalf("routed %d jobs, want %d", routed, jobs)
+	}
+	if cl.SimulatedSeconds() <= 0 {
+		t.Fatal("no simulated time accumulated")
+	}
+
+	cl.Close()
+	if _, err := cl.Submit(NewJob(cta)); err == nil {
+		t.Fatal("Submit after Close must error")
+	}
+}
+
 // TestServiceRejectsMalformedJobs covers the validation surface of the
 // public API.
 func TestServiceRejectsMalformedJobs(t *testing.T) {
