@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-smoke bench-service bench-cluster clean
+.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-record clean
 
 all: build test
 
@@ -14,25 +14,40 @@ build:
 vet:
 	$(GO) vet ./...
 
+# gofmt cleanliness gate: fails listing any file that needs gofmt.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 test: build
 	$(GO) test ./...
 
 # Race-enabled pass over every package that runs goroutines
-# concurrently: the batch scheduler's differential harness, the shared
-# device memory cache, and the GPU simulator's group runner.
+# concurrently: the batch scheduler's differential + QoS fairness +
+# work-stealing harnesses, the qos policy layer, the shared device
+# memory cache, and the GPU simulator's group runner.
 test-race:
-	$(GO) test -race ./internal/sched/... ./internal/memcache/... ./internal/gpu/...
+	$(GO) test -race ./internal/sched/... ./internal/qos/... ./internal/memcache/... ./internal/gpu/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
 
 # Fast CI gate: one pass over the scheduler and cluster throughput
-# benchmarks plus the machine-readable sweep, so a perf-destroying
-# regression (or a broken -json contract) fails the pipeline without
-# paying for the full benchmark matrix.
+# benchmarks plus the machine-readable sweep (which now includes the
+# small mixed-class QoS sweep: per-class latency rows under the FIFO
+# baseline and WFQ), so a perf-destroying regression (or a broken
+# -json contract) fails the pipeline without paying for the full
+# benchmark matrix.
 bench-smoke:
 	$(GO) test -bench 'Benchmark(Service|Cluster)Throughput' -benchtime 50x -run '^$$' .
 	$(GO) run ./cmd/xehe-bench -cluster 50 -json
+
+# Record the bench trajectory: the standard 500-job cluster + mixed
+# QoS sweep, machine-readable, written to the repo root (CI uploads
+# it as an artifact so the trajectory is preserved per commit).
+bench-record:
+	$(GO) run ./cmd/xehe-bench -cluster 500 -json > BENCH_cluster.json
+	@wc -l BENCH_cluster.json
 
 # Throughput sweep of the concurrent scheduler (jobs/sec at 1, 2, 4
 # and 8 workers, host and simulated).

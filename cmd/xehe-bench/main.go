@@ -93,18 +93,27 @@ func main() {
 }
 
 // throughputResult is one row of a -service or -cluster sweep, shaped
-// for machine consumption (-json) of the BENCH_* trajectory.
+// for machine consumption (-json) of the BENCH_* trajectory. The
+// mixed-workload sweep emits one row per (policy, class) with the
+// per-class simulated-latency quantiles filled in.
 type throughputResult struct {
-	Bench         string  `json:"bench"`   // "service" or "cluster"
-	Config        string  `json:"config"`  // device or cluster layout
+	Bench         string  `json:"bench"`             // "service", "cluster" or "mixed"
+	Config        string  `json:"config"`            // device/cluster layout or policy name
 	Workers       int     `json:"workers,omitempty"` // pool size; omitted when defaulted per device
 	Devices       int     `json:"devices"`
 	Jobs          int     `json:"jobs"`
 	JobsPerSec    float64 `json:"jobs_per_sec"`     // host wall-clock
 	SimJobsPerSec float64 `json:"sim_jobs_per_sec"` // simulated device time
-	Batches       int64   `json:"batches"`
-	Coalesced     int64   `json:"coalesced"`
+	Batches       int64   `json:"batches,omitempty"`
+	Coalesced     int64   `json:"coalesced,omitempty"`
 	Routed        []int64 `json:"routed,omitempty"` // per-shard job counts (cluster only)
+	Stolen        []int64 `json:"stolen,omitempty"` // per-shard stolen-job counts (cluster only)
+	Class         string  `json:"class,omitempty"`  // per-class rows of the mixed sweep
+	P50Ms         float64 `json:"p50_sim_ms,omitempty"`
+	P99Ms         float64 `json:"p99_sim_ms,omitempty"`
+	DeadlineHit   int64   `json:"deadline_hit,omitempty"`
+	DeadlineMiss  int64   `json:"deadline_miss,omitempty"`
+	Rejected      int64   `json:"rejected,omitempty"`
 }
 
 func emitResults(results []throughputResult) {
@@ -245,7 +254,7 @@ func clusterThroughput(jobs int, jsonOut bool) {
 			Bench: "cluster", Config: l.name, Devices: len(l.devs), Jobs: jobs,
 			JobsPerSec: float64(jobs) / wall, SimJobsPerSec: float64(jobs) / cl.SimulatedSeconds(),
 			Batches: st.Batches - warm.Batches, Coalesced: st.Coalesced - warm.Coalesced,
-			Routed: routed,
+			Routed: routed, Stolen: append([]int64(nil), st.Stolen...),
 		}
 		results = append(results, r)
 		if !jsonOut {
@@ -254,7 +263,125 @@ func clusterThroughput(jobs int, jsonOut bool) {
 		}
 		cl.Close()
 	}
+	results = append(results, mixedWorkload(jobs, jsonOut)...)
 	if jsonOut {
 		emitResults(results)
 	}
+}
+
+// mixedClass assigns the deterministic class mix of the standard
+// mixed workload: 20% interactive (with a deadline), 10% background,
+// 70% batch.
+func mixedClass(i int) (xehe.JobClass, float64) {
+	switch {
+	case i%5 == 0:
+		return xehe.Interactive, mixedDeadline
+	case i%10 == 3:
+		return xehe.Background, 0
+	default:
+		return xehe.Batch, 0
+	}
+}
+
+// mixedDeadline is the interactive latency target of the mixed sweep
+// in simulated seconds.
+const mixedDeadline = 0.010
+
+// mixedWorkload is the QoS sweep: the standard mixed-class stream
+// (mixedClass over `jobs` jobs) runs through a 2x Device1 cluster
+// once under the class-blind FIFO baseline and once under the default
+// WFQ policy, reporting per-class p50/p99 simulated latency, deadline
+// hits/misses and sheds. The acceptance contract: interactive p99
+// improves under WFQ at equal total throughput.
+func mixedWorkload(jobs int, jsonOut bool) []throughputResult {
+	params, kit, cta, ctb := benchInputs()
+	var results []throughputResult
+	if !jsonOut {
+		fmt.Printf("\nmixed workload QoS sweep (%d jobs, 20%% interactive w/ %.0fms deadline, 10%% background, on 2x Device1)\n\n",
+			jobs, mixedDeadline*1e3)
+		fmt.Printf("%-8s %-12s %8s %12s %14s %10s %10s %8s %8s %8s\n",
+			"policy", "class", "jobs", "jobs/sec", "sim-jobs/sec", "p50-ms", "p99-ms", "dl-hit", "dl-miss", "shed")
+	}
+	for _, pol := range []struct {
+		name   string
+		policy xehe.SchedPolicy
+	}{{"fifo", xehe.PolicyFIFO}, {"wfq", xehe.PolicyWFQ}} {
+		// Shallow worker channels keep the dispatch decision late (a
+		// job committed to a worker is beyond the policy's reach);
+		// the deep pending pool is where the policy reorders.
+		cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device1},
+			xehe.ClusterConfig{
+				WarmBuffers: 32, Policy: pol.policy,
+				QueueDepth: 2, MaxBatch: 4, PendingCap: 512,
+			})
+		submitMix := func(n int, count bool) int {
+			done := 0
+			for i := 0; i < n; i++ {
+				class, deadline := xehe.Batch, 0.0
+				if count {
+					class, deadline = mixedClass(i)
+				}
+				job := buildJob(cta, ctb).WithClass(class).WithDeadline(deadline)
+				switch _, err := cl.Submit(job); err {
+				case nil:
+					done++
+				case xehe.ErrOverloaded:
+					// Interactive share full: shed, reported per class.
+				default:
+					fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+					os.Exit(1)
+				}
+			}
+			return done
+		}
+		submitMix(16, false)
+		cl.Wait()
+		cl.ResetSimClocks()
+		warm := cl.Stats()
+		start := time.Now()
+		accepted := submitMix(jobs, true)
+		cl.Wait()
+		wall := time.Since(start).Seconds()
+		st := cl.Stats()
+		total := throughputResult{
+			Bench: "mixed", Config: pol.name, Devices: 2, Jobs: accepted,
+			JobsPerSec:    float64(accepted) / wall,
+			SimJobsPerSec: float64(accepted) / cl.SimulatedSeconds(),
+		}
+		results = append(results, total)
+		if !jsonOut {
+			fmt.Printf("%-8s %-12s %8d %12.1f %14.0f\n",
+				pol.name, "(total)", total.Jobs, total.JobsPerSec, total.SimJobsPerSec)
+		}
+		for _, pc := range st.PerClass {
+			warmed := findClass(warm.PerClass, pc.Name)
+			r := throughputResult{
+				Bench: "mixed", Config: pol.name, Devices: 2,
+				Class:        pc.Name,
+				Jobs:         int(pc.Completed - warmed.Completed),
+				P50Ms:        pc.P50 * 1e3,
+				P99Ms:        pc.P99 * 1e3,
+				DeadlineHit:  pc.DeadlineHit - warmed.DeadlineHit,
+				DeadlineMiss: pc.DeadlineMiss - warmed.DeadlineMiss,
+				Rejected:     pc.Rejected - warmed.Rejected,
+			}
+			results = append(results, r)
+			if !jsonOut {
+				fmt.Printf("%-8s %-12s %8d %12s %14s %10.3f %10.3f %8d %8d %8d\n",
+					"", pc.Name, r.Jobs, "", "", r.P50Ms, r.P99Ms, r.DeadlineHit, r.DeadlineMiss, r.Rejected)
+			}
+		}
+		cl.Close()
+	}
+	return results
+}
+
+// findClass returns the stats entry with the given class name.
+func findClass(cs []xehe.ClassStats, name string) xehe.ClassStats {
+	for _, c := range cs {
+		if c.Name == name {
+			return c
+		}
+	}
+	return xehe.ClassStats{}
 }

@@ -4,18 +4,26 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xehe/internal/ckks"
 	"xehe/internal/gpu"
+	"xehe/internal/qos"
 )
 
 // ErrNoShards is returned by Cluster.Submit when every shard has been
 // taken out of rotation but the cluster itself is still open.
 var ErrNoShards = errors.New("sched: cluster has no open shards")
 
+// defaultStealInterval is how often the work-stealing monitor scans
+// for an idle shard next to a backlogged one (host wall-clock; jobs
+// take orders of magnitude longer, so the scan is cheap relative to
+// the work it migrates).
+const defaultStealInterval = 200 * time.Microsecond
+
 // Cluster shards independent HE jobs across several devices: one
-// Scheduler per device (each with its own worker pool, tile queues and
-// buffer cache), fronted by a weighted least-loaded router. This is the
+// Scheduler per device (each with its own worker pool, class queues
+// and buffer cache), fronted by a QoS-aware router. This is the
 // functional counterpart of the analytic multi-GPU model in
 // internal/gpu/scaling.go — the paper names multi-GPU and heterogeneous
 // platforms as future work, and heterogeneous mixes (Device1 +
@@ -23,10 +31,19 @@ var ErrNoShards = errors.New("sched: cluster has no open shards")
 // device's peak throughput (gpu.ClusterWeight), so a fast device
 // absorbs proportionally more of a uniform load.
 //
+// Routing is class-aware: latency-sensitive classes go to the shard
+// with the least expected wait (outstanding weighted work divided by
+// the shard's throughput weight), everything else to the classic
+// weighted least-loaded shard. A background monitor steals queued
+// (not yet dispatched) jobs from the longest backlog onto any shard
+// that has gone idle, so a drained device never sits dark while
+// another queues; CloseShard re-routes the closing shard's backlog
+// the same way.
+//
 // Jobs are independent, so any shard may execute any job; the simulated
 // kernels are deterministic, which makes results identical regardless
-// of the routing decision (pinned by the cluster differential test).
-// All methods are safe for concurrent use.
+// of the routing and stealing decisions (pinned by the cluster
+// differential test). All methods are safe for concurrent use.
 type Cluster struct {
 	params *ckks.Parameters
 	shards []*shard
@@ -34,6 +51,18 @@ type Cluster struct {
 	mu        sync.RWMutex // guards closed vs in-flight Submit routing
 	closed    bool
 	closeDone chan struct{}
+
+	// rejected counts jobs shed cluster-wide per class: a job only
+	// counts once every open shard refused it (shard-level Rejected
+	// counters also tick for jobs that found a home elsewhere).
+	rejected []atomic.Int64
+
+	// stealMu serializes task migration (monitor rounds, CloseShard
+	// re-routes) against shard retirement, so a stolen task can never
+	// be left without an open scheduler to land on.
+	stealMu   sync.Mutex
+	stopSteal chan struct{}
+	stealWg   sync.WaitGroup
 }
 
 // shard is one device's scheduler plus its routing state.
@@ -43,6 +72,7 @@ type shard struct {
 	weight float64
 	closed atomic.Bool  // out of rotation (CloseShard or cluster Close)
 	routed atomic.Int64 // jobs ever routed here
+	stolen atomic.Int64 // jobs migrated here by the stealing monitor
 }
 
 // NewCluster builds a router over one scheduler per device. cfg applies
@@ -57,7 +87,11 @@ func NewCluster(params *ckks.Parameters, devs []*gpu.Device, cfg Config, rlk *ck
 	if len(devs) == 0 {
 		panic("sched: cluster needs at least one device")
 	}
-	c := &Cluster{params: params, closeDone: make(chan struct{})}
+	c := &Cluster{
+		params:    params,
+		closeDone: make(chan struct{}),
+		stopSteal: make(chan struct{}),
+	}
 	for i, dev := range devs {
 		replica := make(map[int]*ckks.GaloisKey, len(gks))
 		for k, v := range gks {
@@ -69,6 +103,11 @@ func NewCluster(params *ckks.Parameters, devs []*gpu.Device, cfg Config, rlk *ck
 			weight: gpu.ClusterWeight(&dev.Spec),
 		})
 	}
+	c.rejected = make([]atomic.Int64, len(c.shards[0].sched.classes))
+	if len(c.shards) > 1 {
+		c.stealWg.Add(1)
+		go c.stealLoop()
+	}
 	return c
 }
 
@@ -78,13 +117,13 @@ func (c *Cluster) Params() *ckks.Parameters { return c.params }
 // Shards returns the number of shards (open or not).
 func (c *Cluster) Shards() int { return len(c.shards) }
 
-// pickWeighted is the routing policy: the open shard with the smallest
-// (load+1)/weight ratio wins (ties go to the lowest index). loads are
-// outstanding job counts, weights the devices' relative throughput; the
-// +1 prices the candidate job itself, so an idle slow device still
-// loses to a fast device with little backlog, and a uniform stream
-// splits proportionally to the weights. Returns -1 when every shard is
-// closed.
+// pickWeighted is the bulk routing policy: the open shard with the
+// smallest (load+1)/weight ratio wins (ties go to the lowest index).
+// loads are outstanding job counts, weights the devices' relative
+// throughput; the +1 prices the candidate job itself, so an idle slow
+// device still loses to a fast device with little backlog, and a
+// uniform stream splits proportionally to the weights. Returns -1
+// when every shard is closed.
 func pickWeighted(loads []int64, weights []float64, open []bool) int {
 	best := -1
 	var bestCost float64
@@ -100,42 +139,103 @@ func pickWeighted(loads []int64, weights []float64, open []bool) int {
 	return best
 }
 
-// pick routes one job, or returns nil when no shard is open.
-func (c *Cluster) pick() *shard {
-	loads := make([]int64, len(c.shards))
-	weights := make([]float64, len(c.shards))
-	open := make([]bool, len(c.shards))
-	for i, sh := range c.shards {
-		loads[i] = sh.sched.Outstanding()
-		weights[i] = sh.weight
-		open[i] = !sh.closed.Load()
+// pickExpectedWait is the latency-sensitive routing policy: the open
+// shard with the least expected wait for the candidate job wins,
+// where expected wait is the outstanding work (uploads + kernel ops
+// of every incomplete job, a finer signal than the job count) plus
+// the candidate's own cost, divided by the shard's throughput weight.
+// Returns -1 when every shard is closed.
+func pickExpectedWait(work []float64, cost float64, weights []float64, open []bool) int {
+	best := -1
+	var bestWait float64
+	for i := range work {
+		if !open[i] {
+			continue
+		}
+		wait := (work[i] + cost) / weights[i]
+		if best < 0 || wait < bestWait {
+			best, bestWait = i, wait
+		}
 	}
-	if i := pickWeighted(loads, weights, open); i >= 0 {
-		return c.shards[i]
+	return best
+}
+
+// pick routes one job, or returns nil when no open shard remains in
+// skip. Shards in skip (already tried and found overloaded for this
+// job's class) are excluded.
+func (c *Cluster) pick(job *Job, skip map[int]bool) *shard {
+	n := len(c.shards)
+	weights := make([]float64, n)
+	open := make([]bool, n)
+	for i, sh := range c.shards {
+		weights[i] = sh.weight
+		open[i] = !sh.closed.Load() && !skip[i]
+	}
+	latSensitive := false
+	if cs := c.shards[0].sched.classes; job.Class >= 0 && int(job.Class) < len(cs) {
+		// Out-of-range classes fall through to the default routing and
+		// are rejected by Scheduler.validate with a proper error.
+		latSensitive = cs[job.Class].LatencySensitive
+	}
+	var best int
+	if latSensitive {
+		work := make([]float64, n)
+		for i, sh := range c.shards {
+			work[i] = sh.sched.OutstandingWork()
+		}
+		best = pickExpectedWait(work, float64(len(job.Inputs)+len(job.Ops)), weights, open)
+	} else {
+		loads := make([]int64, n)
+		for i, sh := range c.shards {
+			loads[i] = sh.sched.Outstanding()
+		}
+		best = pickWeighted(loads, weights, open)
+	}
+	if best >= 0 {
+		return c.shards[best]
 	}
 	return nil
 }
 
-// Submit validates and enqueues a job on the least-loaded open shard
-// (weighted by device throughput), returning a Future for its result.
-// It blocks when the chosen shard's pipeline is saturated
-// (backpressure) and returns ErrClosed after Close.
+// Submit validates and enqueues a job on a shard chosen by the job's
+// class (expected-wait routing for latency-sensitive classes,
+// weighted least-loaded otherwise), returning a Future for its
+// result. It blocks when the chosen shard's pipeline is saturated
+// (backpressure), falls over to the next-best shard when a shard
+// sheds the job's class (returning ErrOverloaded only once every open
+// shard has), and returns ErrClosed after Close.
 func (c *Cluster) Submit(job *Job) (*Future, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if c.closed {
 		return nil, ErrClosed
 	}
+	var skip map[int]bool
+	overloaded := false
 	for {
-		sh := c.pick()
+		sh := c.pick(job, skip)
 		if sh == nil {
+			if overloaded {
+				c.rejected[job.Class].Add(1)
+				return nil, ErrOverloaded
+			}
 			return nil, ErrNoShards
 		}
 		fut, err := sh.sched.Submit(job)
-		if err == ErrClosed {
+		switch err {
+		case ErrClosed:
 			// The shard was closed between pick and submit; drop it
 			// from rotation and route elsewhere.
 			sh.closed.Store(true)
+			continue
+		case ErrOverloaded:
+			// This shard's slice of the class is full; try the rest
+			// before telling the caller the cluster is overloaded.
+			if skip == nil {
+				skip = make(map[int]bool)
+			}
+			skip[sh.id] = true
+			overloaded = true
 			continue
 		}
 		if err == nil {
@@ -146,26 +246,141 @@ func (c *Cluster) Submit(job *Job) (*Future, error) {
 }
 
 // Drain blocks until every job submitted so far has completed on every
-// shard. Like Scheduler.Drain it does not stop intake.
+// shard. Like Scheduler.Drain it does not stop intake. Stolen jobs
+// are double-counted (never dropped) while they migrate, so the final
+// zero-sum check below cannot pass with a job still in flight; the
+// loop re-drains until no migration slipped between per-shard waits.
 func (c *Cluster) Drain() {
-	for _, sh := range c.shards {
-		sh.sched.Drain()
+	for {
+		for _, sh := range c.shards {
+			sh.sched.Drain()
+		}
+		total := int64(0)
+		for _, sh := range c.shards {
+			total += sh.sched.Outstanding()
+		}
+		if total == 0 {
+			return
+		}
 	}
 }
 
-// CloseShard takes one shard out of rotation and closes its scheduler,
-// draining the jobs already routed there — e.g. to retire a failing
-// device without stopping the cluster. It is idempotent per shard;
-// with every shard closed, Submit returns ErrNoShards.
+// stealLoop is the work-stealing monitor: whenever some shard has
+// gone fully idle while another still has queued (not yet dispatched)
+// jobs, it migrates up to half of the longest backlog to the idle
+// shard. Stamps are rebased so elapsed wait and remaining deadline
+// budget survive the clock change; results are unaffected because the
+// kernels are deterministic on every shard.
+func (c *Cluster) stealLoop() {
+	defer c.stealWg.Done()
+	tick := time.NewTicker(defaultStealInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopSteal:
+			return
+		case <-tick.C:
+		}
+		c.stealRound()
+	}
+}
+
+// stealRound performs one scan-and-migrate pass. stealMu excludes
+// shard retirement, so the chosen destination cannot close before the
+// tasks land.
+func (c *Cluster) stealRound() {
+	c.stealMu.Lock()
+	defer c.stealMu.Unlock()
+	idle, victim, backlog := -1, -1, 0
+	for i, sh := range c.shards {
+		if sh.closed.Load() {
+			continue
+		}
+		if q := sh.sched.QueuedJobs(); q > backlog {
+			victim, backlog = i, q
+		} else if q == 0 && idle < 0 && sh.sched.Outstanding() == 0 {
+			idle = i
+		}
+	}
+	if idle < 0 || victim < 0 || idle == victim {
+		return
+	}
+	n := backlog / 2
+	if n < 1 {
+		n = 1
+	}
+	c.migrate(c.shards[victim], c.shards[idle], n)
+}
+
+// migrate moves up to max queued tasks from src to dst (both open,
+// caller holds stealMu). Tasks that cannot land on dst are returned
+// to src; outstanding accounting transfers only for the jobs that
+// actually moved.
+func (c *Cluster) migrate(src, dst *shard, max int) int {
+	tasks := src.sched.stealQueued(max)
+	if len(tasks) == 0 {
+		return 0
+	}
+	var work float64
+	for _, t := range tasks {
+		work += t.work()
+	}
+	if !dst.sched.injectTasks(tasks) {
+		// dst closed under us (only possible outside stealMu users);
+		// re-home the backlog where it came from.
+		if !src.sched.injectTasks(tasks) {
+			panic("sched: stolen tasks lost: both shards closed during migration")
+		}
+		src.sched.outstandingAdd(-len(tasks), -work)
+		return 0
+	}
+	dst.stolen.Add(int64(len(tasks)))
+	src.sched.outstandingAdd(-len(tasks), -work)
+	return len(tasks)
+}
+
+// CloseShard takes one shard out of rotation, re-routes its queued
+// (not yet dispatched) backlog to the remaining open shards, and
+// closes its scheduler, draining the jobs already on its workers —
+// e.g. to retire a failing device without stopping the cluster or
+// stranding accepted jobs behind it. It is idempotent per shard; with
+// every shard closed, Submit returns ErrNoShards.
 func (c *Cluster) CloseShard(i int) {
 	sh := c.shards[i]
+	c.stealMu.Lock()
 	sh.closed.Store(true)
+	// Spread the backlog over the open shards, least-loaded first.
+	for {
+		dst := -1
+		var dstLoad int64
+		for j, other := range c.shards {
+			if j == i || other.closed.Load() {
+				continue
+			}
+			if load := other.sched.Outstanding(); dst < 0 || load < dstLoad {
+				dst, dstLoad = j, load
+			}
+		}
+		if dst < 0 {
+			break // no open shard left; the local Close drains them
+		}
+		queued := sh.sched.QueuedJobs()
+		if queued == 0 {
+			break
+		}
+		n := (queued + 1) / 2
+		if c.migrate(sh, c.shards[dst], n) == 0 {
+			break
+		}
+	}
+	c.stealMu.Unlock()
 	sh.sched.Close()
 }
 
-// Close stops intake, then closes all shards concurrently (each drains
-// its pending jobs and releases its buffer cache). It is idempotent,
-// and every call returns only after the teardown has fully completed.
+// Close stops intake and the stealing monitor, then closes all shards
+// concurrently (each drains its pending jobs and releases its buffer
+// cache). It is idempotent, and every call returns only after the
+// teardown has fully completed.
 func (c *Cluster) Close() {
 	c.mu.Lock()
 	if c.closed {
@@ -175,12 +390,20 @@ func (c *Cluster) Close() {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	// Stop migrations before any scheduler starts tearing down, so a
+	// mid-flight steal always has an open destination.
+	close(c.stopSteal)
+	c.stealWg.Wait()
+	c.stealMu.Lock()
+	for _, sh := range c.shards {
+		sh.closed.Store(true)
+	}
+	c.stealMu.Unlock()
 	var wg sync.WaitGroup
 	for _, sh := range c.shards {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
-			sh.closed.Store(true)
 			sh.sched.Close()
 		}(sh)
 	}
@@ -189,14 +412,17 @@ func (c *Cluster) Close() {
 }
 
 // ClusterStats aggregates the scheduler counters across shards: the
-// embedded Stats sums jobs, failures, batches and cache traffic over
-// the whole cluster (MaxBatch is the maximum, PerWorker concatenates
-// the shards' pools in shard order); PerShard and Routed break the
-// same numbers down by shard.
+// embedded Stats sums jobs, failures, batches, steals and cache
+// traffic over the whole cluster (MaxBatch is the maximum, PerWorker
+// concatenates the shards' pools in shard order, PerClass merges the
+// per-class counters and recomputes the latency quantiles over the
+// union of the shards' samples); PerShard, Routed and Stolen break
+// the same numbers down by shard.
 type ClusterStats struct {
 	Stats
 	PerShard []Stats
 	Routed   []int64 // jobs routed to each shard by the router
+	Stolen   []int64 // jobs migrated to each shard by work stealing
 }
 
 // Stats returns a snapshot of the aggregate and per-shard counters.
@@ -204,23 +430,53 @@ func (c *Cluster) Stats() ClusterStats {
 	cs := ClusterStats{
 		PerShard: make([]Stats, len(c.shards)),
 		Routed:   make([]int64, len(c.shards)),
+		Stolen:   make([]int64, len(c.shards)),
 	}
+	classes := c.shards[0].sched.classes
+	cs.PerClass = make([]ClassStats, len(classes))
+	merged := make([][]float64, len(classes))
 	for i, sh := range c.shards {
 		st := sh.sched.Stats()
 		cs.PerShard[i] = st
 		cs.Routed[i] = sh.routed.Load()
+		cs.Stolen[i] = sh.stolen.Load()
 		cs.Jobs += st.Jobs
 		cs.Failed += st.Failed
 		cs.Batches += st.Batches
 		cs.Coalesced += st.Coalesced
+		cs.StolenIn += st.StolenIn
+		cs.StolenOut += st.StolenOut
 		cs.CacheHits += st.CacheHits
 		cs.CacheMisses += st.CacheMisses
 		if st.MaxBatch > cs.MaxBatch {
 			cs.MaxBatch = st.MaxBatch
 		}
 		cs.PerWorker = append(cs.PerWorker, st.PerWorker...)
+		for k, pc := range st.PerClass {
+			cs.PerClass[k].Name = pc.Name
+			cs.PerClass[k].Submitted += pc.Submitted
+			cs.PerClass[k].Completed += pc.Completed
+			cs.PerClass[k].Failed += pc.Failed
+			cs.PerClass[k].DeadlineHit += pc.DeadlineHit
+			cs.PerClass[k].DeadlineMiss += pc.DeadlineMiss
+		}
+		for k, lat := range sh.sched.classLatencies() {
+			merged[k] = append(merged[k], lat...)
+		}
+	}
+	for k := range cs.PerClass {
+		// Cluster-level sheds only: a shard-level rejection that found
+		// a home on another shard is not a shed job (those remain
+		// visible in the PerShard breakdown).
+		cs.PerClass[k].Rejected = c.rejected[k].Load()
+		cs.PerClass[k].P50, cs.PerClass[k].P99 = quantiles(merged[k])
 	}
 	return cs
+}
+
+// Classes returns the class table the cluster's shards dispatch by.
+func (c *Cluster) Classes() []qos.Class {
+	return append([]qos.Class(nil), c.shards[0].sched.classes...)
 }
 
 // SimulatedSeconds returns the cluster's simulated wall-clock: the
@@ -235,11 +491,13 @@ func (c *Cluster) SimulatedSeconds() float64 {
 	return max
 }
 
-// ResetSimClocks zeroes every shard's simulated clocks (allocation
-// statistics preserved), for steady-state measurement after a warm-up.
-// Call it only while the cluster is idle.
+// ResetSimClocks zeroes every shard's simulated clocks and the QoS
+// state derived from them (enqueue-stamp floors, latency sample
+// windows; allocation statistics and counter totals preserved), for
+// steady-state measurement after a warm-up. Call it only while the
+// cluster is idle.
 func (c *Cluster) ResetSimClocks() {
 	for _, sh := range c.shards {
-		sh.sched.Backend().ResetClocks()
+		sh.sched.ResetClocks()
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"xehe/internal/ckks"
 	"xehe/internal/core"
 	"xehe/internal/gpu"
+	"xehe/internal/qos"
 )
 
 // newTestCluster builds a cluster over the given devices with the same
@@ -298,6 +299,249 @@ func TestWarmBuffersPreloadsPool(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("no cache traffic recorded; jobs did not run through the pool")
+	}
+}
+
+// TestClusterStealsToIdleShard pins the work-stealing path: a backlog
+// piled onto one shard (bypassing the router) must be partially
+// migrated to the idle shard instead of leaving it dark, with every
+// result still bit-identical to the serial path.
+func TestClusterStealsToIdleShard(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(1)
+	cfg.QueueDepth = 2
+	cfg.MaxBatch = 2
+	cfg.PendingCap = 64
+	c := NewCluster(h.Params, []*gpu.Device{gpu.NewDevice1(), gpu.NewDevice1()},
+		cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+
+	vals := make([]complex128, h.Params.Slots())
+	job := NewJob(h.Encrypt(vals))
+	job.SquareRelinRescale(0)
+	want, err := h.RunSerial(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pile everything onto shard 0 directly; shard 1 never sees a
+	// routed job and goes idle immediately.
+	const jobs = 40
+	futs := make([]*Future, jobs)
+	for i := range futs {
+		if futs[i], err = c.shards[0].sched.Submit(job); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: stolen-path result diverges: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Jobs != jobs || st.Failed != 0 {
+		t.Fatalf("stats = %d jobs / %d failed, want %d/0", st.Jobs, st.Failed, jobs)
+	}
+	if st.Stolen[1] == 0 || st.PerShard[1].Jobs == 0 {
+		t.Fatalf("idle shard stole nothing (stolen %v, per-shard jobs %d/%d)",
+			st.Stolen, st.PerShard[0].Jobs, st.PerShard[1].Jobs)
+	}
+	if st.StolenIn != st.StolenOut {
+		t.Fatalf("steal accounting unbalanced: %d in vs %d out", st.StolenIn, st.StolenOut)
+	}
+	var submitted, completed int64
+	for _, pc := range st.PerClass {
+		submitted += pc.Submitted
+		completed += pc.Completed
+	}
+	if submitted != jobs || completed != jobs {
+		t.Fatalf("aggregate per-class submitted/completed = %d/%d, want %d/%d (stolen jobs double-counted?)",
+			submitted, completed, jobs, jobs)
+	}
+	t.Logf("stealing: shard jobs %d/%d, migrated %d", st.PerShard[0].Jobs, st.PerShard[1].Jobs, st.StolenIn)
+}
+
+// TestCloseShardReroutesBacklogUnderRace is the CloseShard race
+// regression: submissions race with CloseShard on the targeted shard,
+// and every accepted job must complete bit-correct — queued jobs on
+// the closing shard are re-routed (or drained locally), never lost,
+// and no Future ever wedges.
+func TestCloseShardReroutesBacklogUnderRace(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(1)
+	cfg.QueueDepth = 1
+	cfg.MaxBatch = 2
+	cfg.PendingCap = 64
+	c := NewCluster(h.Params, []*gpu.Device{gpu.NewDevice1(), gpu.NewDevice1()},
+		cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+
+	vals := make([]complex128, h.Params.Slots())
+	job := NewJob(h.Encrypt(vals))
+	job.SquareRelinRescale(0)
+	want, err := h.RunSerial(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 48
+	futs := make([]*Future, jobs)
+	errs := make([]error, jobs)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := g; i < jobs; i += 4 {
+				futs[i], errs[i] = c.Submit(job)
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		c.CloseShard(0) // races with the submitters
+	}()
+	close(start)
+	wg.Wait()
+
+	accepted := 0
+	for i := range futs {
+		if errs[i] != nil {
+			// ErrNoShards can only appear if shard 1 also vanished;
+			// with one CloseShard it must never happen.
+			if errs[i] == ErrNoShards || errs[i] == ErrClosed {
+				t.Fatalf("job %d: submit: %v", i, errs[i])
+			}
+			continue
+		}
+		accepted++
+		got, err := futs[i].Wait() // must not wedge
+		if err != nil {
+			t.Fatalf("accepted job %d failed: %v", i, err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: result diverges after CloseShard: %v", i, err)
+		}
+	}
+	if accepted != jobs {
+		t.Fatalf("only %d of %d jobs accepted; the open shard must absorb the stream", accepted, jobs)
+	}
+	st := c.Stats()
+	if st.Jobs != int64(jobs) || st.Failed != 0 {
+		t.Fatalf("stats = %d jobs / %d failed, want %d/0 (accepted jobs lost in CloseShard)", st.Jobs, st.Failed, jobs)
+	}
+	// The cluster must still serve with one shard.
+	fut, err := c.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := fut.Wait(); err != nil {
+		t.Fatal(err)
+	} else if err := SameCiphertext(got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterDifferentialQoSMixed is the cluster acceptance harness
+// with the QoS subsystem fully on: randomized job chains carrying
+// random classes and deadlines, dispatched under each policy across a
+// heterogeneous Device1+Device2 cluster with work stealing enabled,
+// must match the serial core.Context path bit-for-bit and decrypt to
+// the plaintext model. Run with -race (make test-race).
+func TestClusterDifferentialQoSMixed(t *testing.T) {
+	h := sharedHarness(t)
+	for _, pol := range []struct {
+		name    string
+		factory qos.Factory
+	}{{"wfq", qos.WFQ}, {"priority", qos.StrictPriority}, {"edf", qos.EDF}} {
+		pol := pol
+		t.Run(pol.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(len(pol.name)) * 104729))
+			const nJobs, submitters = 20, 4
+			cases := make([]*Case, nJobs)
+			for i := range cases {
+				cases[i] = h.RandomCase(rng, 5)
+				h.RandomQoS(rng, cases[i].Job)
+			}
+			cfg := schedConfig(2)
+			cfg.Policy = pol.factory
+			c := NewCluster(h.Params, []*gpu.Device{gpu.NewDevice1(), gpu.NewDevice2()},
+				cfg, h.RelinKey(), h.GaloisKeys())
+			t.Cleanup(c.Close)
+
+			futs := make([]*Future, nJobs)
+			var wg sync.WaitGroup
+			for g := 0; g < submitters; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := g; i < nJobs; i += submitters {
+						fut, err := c.Submit(cases[i].Job)
+						if err != nil {
+							t.Errorf("job %d: submit: %v", i, err)
+							return
+						}
+						futs[i] = fut
+					}
+				}(g)
+			}
+			wg.Wait()
+			if t.Failed() {
+				t.Fatal("submission failed")
+			}
+			for i, fut := range futs {
+				got, err := fut.Wait()
+				if err != nil {
+					t.Fatalf("job %d: %v (ops %v)", i, err, cases[i].Job.Ops)
+				}
+				want, err := h.RunSerial(cases[i].Job)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := SameCiphertext(got, want); err != nil {
+					t.Fatalf("job %d (%s): cluster vs serial mismatch: %v", i, pol.name, err)
+				}
+				if e := MaxSlotError(h.Decrypt(got), cases[i].Expected); e > differentialEps {
+					t.Fatalf("job %d: slot error %g", i, e)
+				}
+			}
+			st := c.Stats()
+			if st.Jobs != nJobs || st.Failed != 0 {
+				t.Fatalf("stats = %d jobs / %d failed, want %d/0", st.Jobs, st.Failed, nJobs)
+			}
+			var perClass int64
+			for _, pc := range st.PerClass {
+				perClass += pc.Completed
+			}
+			if perClass != nJobs {
+				t.Fatalf("per-class completions sum to %d, want %d", perClass, nJobs)
+			}
+		})
+	}
+}
+
+// TestClusterRejectsOutOfRangeClass pins that an invalid class — in
+// either direction — surfaces as a validation error through the
+// cluster router instead of panicking in the routing path.
+func TestClusterRejectsOutOfRangeClass(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 1, gpu.NewDevice1())
+	vals := make([]complex128, h.Params.Slots())
+	for _, class := range []qos.ClassID{-1, 99} {
+		j := NewJob(h.Encrypt(vals)).WithClass(class)
+		j.SquareRelinRescale(0)
+		if _, err := c.Submit(j); err == nil || !strings.Contains(err.Error(), "class") {
+			t.Fatalf("class %d: Submit = %v, want class-range error", class, err)
+		}
 	}
 }
 

@@ -2,12 +2,14 @@ package sched
 
 import (
 	"fmt"
+	"math"
 	"math/cmplx"
 	"math/rand"
 
 	"xehe/internal/ckks"
 	"xehe/internal/core"
 	"xehe/internal/gpu"
+	"xehe/internal/qos"
 )
 
 // Harness generates randomized HE job scenarios and provides the
@@ -123,6 +125,17 @@ func (h *Harness) RandomCase(rng *rand.Rand, maxOps int) *Case {
 		vals = append(vals, applyModel(h.Params, vals, op, slots))
 	}
 	return &Case{Job: job, Expected: vals[len(vals)-1].pt}
+}
+
+// RandomQoS decorates a job with a random class and (half the time) a
+// random simulated-time deadline, spanning generous targets down to
+// unmeetable ones — deadline outcomes only feed stats, never results,
+// so the differential comparison is unaffected.
+func (h *Harness) RandomQoS(rng *rand.Rand, job *Job) {
+	job.WithClass(qos.ClassID(rng.Intn(3)))
+	if rng.Intn(2) == 0 {
+		job.WithDeadline(math.Pow(10, -6+5*rng.Float64())) // 1µs .. 0.1s
+	}
 }
 
 // mulSafe reports whether a value's scale is still near the base scale,

@@ -16,23 +16,35 @@
 //   - All workers share one device memory cache (internal/memcache),
 //     so buffers freed by one job are recycled by the next regardless
 //     of which worker runs it — the Fig. 11 cache applied fleet-wide.
-//   - A dispatcher coalesces jobs of identical shape (same input
+//   - Submitted jobs wait in per-class queues (internal/qos: job
+//     classes with weights, priorities, admission shares and optional
+//     simulated-time deadlines). Whenever a worker has room, a
+//     pluggable qos.Policy — weighted fair queuing by default, strict
+//     priority or earliest-deadline-first as alternatives, all with
+//     aging-based starvation protection — decides which class's head
+//     runs next, so a late interactive job overtakes a queued batch
+//     backlog instead of waiting behind it.
+//   - The dispatcher coalesces jobs of identical shape (same input
 //     levels and op chain, hence identical kernel launch sequences)
-//     into batches. A batch stages every job's uploads and kernel
-//     chain back-to-back without host synchronization and only then
-//     downloads the results: the asynchronous window of Fig. 2 widens
-//     from one job to the whole batch, so the host stalls only in the
-//     download phase at the batch tail (each download still pays its
-//     own sync there) instead of blocking between jobs.
-//   - Per-worker queues are bounded; when every queue is full,
-//     dispatch blocks, the intake channel fills, and Submit blocks —
-//     backpressure propagates to the caller instead of growing an
-//     unbounded backlog.
+//     from the chosen class's queue into batches. A batch stages
+//     every job's uploads and kernel chain back-to-back without host
+//     synchronization and only then downloads the results: the
+//     asynchronous window of Fig. 2 widens from one job to the whole
+//     batch, so the host stalls only in the download phase at the
+//     batch tail (each download still pays its own sync there)
+//     instead of blocking between jobs.
+//   - Queues are bounded per class (admission control): a class with
+//     a full queue share blocks Submit (backpressure), while a class
+//     with a partial share sheds over-limit jobs with ErrOverloaded —
+//     latency-sensitive traffic fails fast instead of queueing behind
+//     a backlog that already guarantees a blown target.
 //   - Cluster puts one full scheduler on each of several devices
-//     (heterogeneous mixes allowed) and routes every job to the open
-//     shard with the smallest load/throughput ratio; the simulated
-//     kernels are deterministic, so results are bit-identical
-//     regardless of which shard ran a job.
+//     (heterogeneous mixes allowed); latency-sensitive classes route
+//     to the shard with the least expected wait (outstanding work /
+//     throughput weight), the rest to the weighted least-loaded
+//     shard, and idle shards steal queued jobs from the longest
+//     backlog. The simulated kernels are deterministic, so results
+//     are bit-identical regardless of which shard ran a job.
 package sched
 
 import (
@@ -40,6 +52,7 @@ import (
 	"strconv"
 
 	"xehe/internal/ckks"
+	"xehe/internal/qos"
 )
 
 // OpCode identifies one homomorphic evaluation routine of a job chain.
@@ -90,11 +103,35 @@ type Op struct {
 type Job struct {
 	Inputs []*ckks.Ciphertext
 	Ops    []Op
+	// Class is the QoS tier the job dispatches under (an index into
+	// the scheduler's class table; qos.Batch for the zero value, the
+	// blocking-backpressure bulk tier).
+	Class qos.ClassID
+	// Deadline is the job's latency target in simulated seconds,
+	// relative to submission; 0 means none. Deadline-aware policies
+	// (EDF) order by it, and per-class stats count hits and misses.
+	Deadline float64
 }
 
 // NewJob starts a job over the given encrypted inputs.
 func NewJob(inputs ...*ckks.Ciphertext) *Job {
-	return &Job{Inputs: inputs}
+	return &Job{Inputs: inputs, Class: qos.Batch}
+}
+
+// WithClass sets the job's QoS class and returns the job (chainable).
+func (j *Job) WithClass(c qos.ClassID) *Job {
+	j.Class = c
+	return j
+}
+
+// WithDeadline sets the job's relative simulated-time deadline in
+// seconds and returns the job (chainable). d <= 0 clears it.
+func (j *Job) WithDeadline(d float64) *Job {
+	if d < 0 {
+		d = 0
+	}
+	j.Deadline = d
+	return j
 }
 
 // push appends an op and returns the value index of its result.

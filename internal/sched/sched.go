@@ -3,16 +3,26 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"xehe/internal/ckks"
 	"xehe/internal/core"
 	"xehe/internal/gpu"
+	"xehe/internal/qos"
 )
 
 // ErrClosed is returned by Submit after Close has been called.
 var ErrClosed = errors.New("sched: scheduler is closed")
+
+// ErrOverloaded is returned by Submit when the job's class has
+// exhausted its admission share of the pending queue (qos.Class.Share
+// < 1): the scheduler sheds the job instead of queueing it behind a
+// backlog that already guarantees a blown latency target. Classes
+// with a full share block instead (plain backpressure).
+var ErrOverloaded = errors.New("sched: class queue share exhausted")
 
 // Config tunes the scheduler. The zero value of any field selects a
 // sensible default.
@@ -21,13 +31,17 @@ type Config struct {
 	// queue pinned to tile (worker mod tiles). Default: the device's
 	// tile count.
 	Workers int
-	// QueueDepth bounds each worker's batch queue and scales the
-	// intake buffer; when all queues are full, Submit blocks
-	// (backpressure). Default 8.
+	// QueueDepth bounds each worker's batch queue; it also scales the
+	// dispatcher's pending-queue capacity. Default 8.
 	QueueDepth int
 	// MaxBatch caps how many same-shape jobs are coalesced into one
 	// batch. Default 8; 1 disables batching.
 	MaxBatch int
+	// PendingCap bounds the dispatcher's pending queue — the jobs
+	// accepted but not yet shipped to a worker, i.e. the pool the QoS
+	// policy reorders. Class admission shares are fractions of this
+	// capacity. Default: Workers*QueueDepth*MaxBatch.
+	PendingCap int
 	// WarmBuffers pre-populates the shared buffer cache with this many
 	// working-set-sized buffers at construction, so the steady-state
 	// pipeline never pays a driver allocation (cold-start allocations
@@ -35,6 +49,16 @@ type Config struct {
 	// high worker counts). 0 disables pre-warming; it is also a no-op
 	// when Core.MemCache is off.
 	WarmBuffers int
+	// Classes is the QoS class table jobs reference by Job.Class.
+	// nil selects qos.DefaultClasses() (Interactive/Batch/Background).
+	Classes []qos.Class
+	// Policy builds the dispatch policy deciding which class's
+	// backlog runs next. nil selects qos.WFQ (weighted fair queuing).
+	Policy qos.Factory
+	// Aging is the starvation-protection window in simulated seconds:
+	// a class whose head job has waited this long overrides the
+	// policy's pick. 0 selects qos.DefaultAging; negative disables.
+	Aging float64
 	// Core configures the per-worker backend contexts (NTT variant,
 	// inline assembly, memory cache, ...). Config.Core.DualTile is
 	// ignored: tile parallelism comes from the worker pool itself.
@@ -51,7 +75,33 @@ func (c Config) withDefaults(tiles int) Config {
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 8
 	}
+	if c.PendingCap <= 0 {
+		c.PendingCap = c.Workers * c.QueueDepth * c.MaxBatch
+	}
+	if c.Classes == nil {
+		c.Classes = qos.DefaultClasses()
+	}
+	if c.Policy == nil {
+		c.Policy = qos.WFQ
+	}
+	if c.Aging == 0 {
+		c.Aging = qos.DefaultAging
+	}
 	return c
+}
+
+// ClassStats is the per-class slice of the scheduler counters.
+type ClassStats struct {
+	Name                      string
+	Submitted                 int64 // jobs admitted by this scheduler's Submit (stolen arrivals count via Stats.StolenIn)
+	Completed                 int64 // jobs finished (including failed)
+	Failed                    int64 // jobs that finished with an error
+	Rejected                  int64 // jobs shed with ErrOverloaded
+	DeadlineHit, DeadlineMiss int64 // jobs with a deadline, by outcome
+	// P50/P99 are simulated-latency quantiles (seconds from
+	// submission to completion on the backend clock) over the
+	// completed jobs of the class; 0 when none completed.
+	P50, P99 float64
 }
 
 // Stats is a snapshot of scheduler counters.
@@ -62,6 +112,8 @@ type Stats struct {
 	MaxBatch               int   // largest batch observed
 	Coalesced              int64 // jobs that ran in a batch of size >= 2
 	PerWorker              []int64
+	PerClass               []ClassStats
+	StolenIn, StolenOut    int64 // jobs migrated in/out by work stealing
 	CacheHits, CacheMisses int64
 }
 
@@ -82,14 +134,62 @@ func (f *Future) Wait() (*ckks.Ciphertext, error) {
 // Done returns a channel closed when the result is available.
 func (f *Future) Done() <-chan struct{} { return f.done }
 
+// task is one queued job. enq and deadline are absolute simulated
+// seconds on the owning backend's clock; stealQueued converts them to
+// relative form (elapsed wait / remaining budget) for the transfer
+// and injectTasks rebases them onto the receiving backend's clock.
 type task struct {
-	job *Job
-	fut *Future
+	job      *Job
+	fut      *Future
+	class    int
+	enq      float64
+	deadline float64
+}
+
+// work is the routing cost estimate of the task's job: uploads plus
+// kernel-chain ops. The cluster's expected-wait router divides the
+// outstanding sum by the device weight.
+func (t *task) work() float64 { return float64(len(t.job.Inputs) + len(t.job.Ops)) }
+
+// latWindowCap bounds the per-class latency sample window: quantiles
+// are computed over the most recent completions, so a long-running
+// service neither grows without bound nor slows Stats() down.
+const latWindowCap = 8192
+
+// latWindow is a bounded ring of the most recent latency samples.
+type latWindow struct {
+	buf  []float64
+	next int // overwrite position once the buffer is full
+}
+
+func (w *latWindow) add(v float64) {
+	if w.buf == nil {
+		w.buf = make([]float64, 0, latWindowCap)
+	}
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+		return
+	}
+	w.buf[w.next] = v
+	w.next = (w.next + 1) % len(w.buf)
+}
+
+// samples copies the window (unordered; quantiles don't care).
+func (w *latWindow) samples() []float64 {
+	return append([]float64(nil), w.buf...)
+}
+
+func (w *latWindow) reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
 }
 
 // Scheduler multiplexes independent HE jobs over a worker pool on one
 // execution backend (a single simulated device, via DeviceBackend).
-// All methods are safe for concurrent use.
+// Jobs are held in per-class queues and dispatched by a qos.Policy
+// whenever a worker has room, so a late-arriving interactive job can
+// overtake a queued batch backlog. All methods are safe for
+// concurrent use.
 type Scheduler struct {
 	params  *ckks.Parameters
 	backend Backend
@@ -97,22 +197,40 @@ type Scheduler struct {
 	rlk     *ckks.RelinKey
 	gks     map[int]*ckks.GaloisKey
 
-	intake  chan *task
+	classes  []qos.Class
+	policy   qos.Policy // owned by the dispatcher goroutine
+	deadline bool       // policy keeps class queues deadline-sorted
+	limits   []int      // per-class queued-job cap
+	rejects  []bool     // true: over-limit Submit sheds (ErrOverloaded)
+
+	qmu     sync.Mutex // guards queues/queued/lastEnq
+	qcond   *sync.Cond // signals queue space freed (blocking Submit)
+	queues  [][]*task
+	queued  int     // total queued (not yet shipped to a worker)
+	lastEnq float64 // last enqueue stamp issued (monotonicity floor)
+
+	kick  chan struct{} // cap 1: work enqueued
+	freec chan struct{} // cap 1: a worker freed queue space
+	stopc chan struct{} // closed by Close
+
 	workers []*worker
 
 	dispWg sync.WaitGroup
 	workWg sync.WaitGroup
 
-	mu        sync.RWMutex // guards closed vs in-flight Submit sends
+	mu        sync.RWMutex // guards closed vs in-flight Submit/inject
 	closed    bool
 	closeDone chan struct{} // closed once teardown has fully completed
 
-	statMu sync.Mutex
-	stats  Stats
+	statMu    sync.Mutex
+	stats     Stats
+	classStat []ClassStats
+	latency   []latWindow // per-class simulated-latency samples
 
 	outMu       sync.Mutex
 	outCond     *sync.Cond
 	outstanding int
+	outWork     float64 // work units of outstanding jobs (routing signal)
 }
 
 type worker struct {
@@ -141,8 +259,34 @@ func NewOn(params *ckks.Parameters, backend Backend, cfg Config, rlk *ckks.Relin
 		cfg:       cfg,
 		rlk:       rlk,
 		gks:       gks,
-		intake:    make(chan *task, cfg.Workers*cfg.QueueDepth),
+		classes:   cfg.Classes,
+		kick:      make(chan struct{}, 1),
+		freec:     make(chan struct{}, 1),
+		stopc:     make(chan struct{}),
 		closeDone: make(chan struct{}),
+	}
+	s.policy = qos.WithAging(cfg.Policy(s.classes), cfg.Aging)
+	s.deadline = s.policy.DeadlineOrdered()
+	s.queues = make([][]*task, len(s.classes))
+	s.qcond = sync.NewCond(&s.qmu)
+	// Admission limits: each class owns Share of the pending-queue
+	// capacity. A full share (>= 1, or 0 which defaults to 1) keeps
+	// the blocking-backpressure contract; a partial share sheds
+	// over-limit jobs with ErrOverloaded.
+	queueCap := cfg.PendingCap
+	s.limits = make([]int, len(s.classes))
+	s.rejects = make([]bool, len(s.classes))
+	for i, c := range s.classes {
+		share := c.Share
+		if share <= 0 || share >= 1 {
+			s.limits[i] = queueCap
+		} else {
+			s.limits[i] = int(share * float64(queueCap))
+			if s.limits[i] < 1 {
+				s.limits[i] = 1
+			}
+			s.rejects[i] = true
+		}
 	}
 	// Pre-warm the buffer pool before any worker can race a cold
 	// allocation against in-flight work. The largest buffers the
@@ -154,6 +298,11 @@ func NewOn(params *ckks.Parameters, backend Backend, cfg Config, rlk *ckks.Relin
 	}
 	s.outCond = sync.NewCond(&s.outMu)
 	s.stats.PerWorker = make([]int64, cfg.Workers)
+	s.classStat = make([]ClassStats, len(s.classes))
+	s.latency = make([]latWindow, len(s.classes))
+	for i, c := range s.classes {
+		s.classStat[i].Name = c.Name
+	}
 	multiQ := cfg.Workers > 1
 	for i := 0; i < cfg.Workers; i++ {
 		w := &worker{
@@ -176,32 +325,121 @@ func (s *Scheduler) Params() *ckks.Parameters { return s.params }
 // Backend returns the scheduler's execution backend.
 func (s *Scheduler) Backend() Backend { return s.backend }
 
-// Submit validates and enqueues a job, returning a Future for its
-// result. It blocks when the pipeline is saturated (backpressure) and
-// returns ErrClosed after Close.
-func (s *Scheduler) Submit(job *Job) (*Future, error) {
+// Policy returns the name of the dispatch policy in effect.
+func (s *Scheduler) Policy() string { return s.policy.Name() }
+
+// validate checks the job against the scheduler's parameters, key
+// material and class table.
+func (s *Scheduler) validate(job *Job) error {
 	if err := job.Validate(s.params); err != nil {
-		return nil, err
+		return err
+	}
+	if job.Class < 0 || int(job.Class) >= len(s.classes) {
+		return fmt.Errorf("sched: job class %d out of range (scheduler has %d classes)", job.Class, len(s.classes))
 	}
 	for i, op := range job.Ops {
 		if op.Code == OpRotate {
 			if _, ok := s.gks[op.K]; !ok {
-				return nil, fmt.Errorf("sched: op %d rotates by %d but the scheduler has no Galois key for it", i, op.K)
+				return fmt.Errorf("sched: op %d rotates by %d but the scheduler has no Galois key for it", i, op.K)
 			}
 		}
 	}
-	t := &task{job: job, fut: &Future{done: make(chan struct{})}}
+	return nil
+}
+
+// Submit validates and enqueues a job, returning a Future for its
+// result. Jobs wait in their class's queue until the dispatch policy
+// picks them. When the class's queue share is exhausted, Submit
+// blocks for full-share classes (backpressure) and returns
+// ErrOverloaded for partial-share ones (load shedding); it returns
+// ErrClosed after Close.
+func (s *Scheduler) Submit(job *Job) (*Future, error) {
+	if err := s.validate(job); err != nil {
+		return nil, err
+	}
+	class := int(job.Class)
+	t := &task{job: job, fut: &Future{done: make(chan struct{})}, class: class}
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if s.closed {
-		s.mu.RUnlock()
 		return nil, ErrClosed
 	}
+	// Count the job outstanding before it becomes visible to the
+	// dispatcher: once enqueued it can be dispatched and completed at
+	// any moment, and a late increment would let a concurrent Drain
+	// observe a zero counter with work still in flight.
 	s.outMu.Lock()
 	s.outstanding++
+	s.outWork += t.work()
 	s.outMu.Unlock()
-	s.intake <- t // may block: backpressure
-	s.mu.RUnlock()
+	s.qmu.Lock()
+	if len(s.queues[class]) >= s.limits[class] {
+		if s.rejects[class] {
+			s.qmu.Unlock()
+			s.outstandingAdd(-1, -t.work())
+			s.statMu.Lock()
+			s.classStat[class].Rejected++
+			s.statMu.Unlock()
+			return nil, ErrOverloaded
+		}
+		for len(s.queues[class]) >= s.limits[class] {
+			s.qcond.Wait() // backpressure; the dispatcher frees space
+		}
+	}
+	// Strictly increasing stamps: the simulated clock only advances
+	// with device activity, so a submission burst would otherwise
+	// issue ties and arrival-order policies would degenerate to
+	// class-index order. The epsilon is far below any real latency.
+	t.enq = s.backend.SimulatedSeconds()
+	if t.enq <= s.lastEnq {
+		t.enq = s.lastEnq + 1e-12
+	}
+	s.lastEnq = t.enq
+	t.deadline = qos.NoDeadline()
+	if job.Deadline > 0 {
+		t.deadline = t.enq + job.Deadline
+	}
+	s.enqueueLocked(t)
+	s.qmu.Unlock()
+	s.statMu.Lock()
+	s.classStat[class].Submitted++
+	s.statMu.Unlock()
+	s.wake(s.kick)
 	return t.fut, nil
+}
+
+// enqueueLocked inserts the task into its class queue: sorted by
+// absolute deadline when the policy asks for it, by enqueue stamp
+// otherwise. Local Submits carry monotonic stamps, so the arrival
+// sort degenerates to an append on that path; only injected (stolen)
+// tasks — whose rebased stamps preserve wait already served on the
+// victim shard — land mid-queue, which keeps the head the true oldest
+// job for FIFO ordering and the aging starvation bound. Caller holds
+// qmu.
+func (s *Scheduler) enqueueLocked(t *task) {
+	q := s.queues[t.class]
+	var i int
+	if s.deadline {
+		// Before the first strictly-later deadline, keeping equal
+		// deadlines (and deadline-less tails) in arrival order.
+		i = sort.Search(len(q), func(i int) bool { return q[i].deadline > t.deadline })
+	} else {
+		i = sort.Search(len(q), func(i int) bool { return q[i].enq > t.enq })
+	}
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = t
+	s.queues[t.class] = q
+	s.queued++
+}
+
+// wake delivers a non-blocking signal on a capacity-1 channel; a
+// pending signal already guarantees the dispatcher will rescan.
+func (s *Scheduler) wake(ch chan struct{}) {
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
 }
 
 // Drain blocks until every job submitted so far has completed. It does
@@ -228,8 +466,8 @@ func (s *Scheduler) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.intake)
-	s.dispWg.Wait() // dispatcher flushes everything and closes worker chans
+	close(s.stopc)
+	s.dispWg.Wait() // dispatcher flushes the class queues and closes worker chans
 	s.workWg.Wait()
 	// Release reclaims orphans too (ReleaseAll under the hood): a
 	// panicking op may have stranded its internal allocations in the
@@ -247,21 +485,103 @@ func (s *Scheduler) Outstanding() int64 {
 	return int64(s.outstanding)
 }
 
+// OutstandingWork returns the work units (uploads + ops) of the jobs
+// that have not yet completed — the expected-wait signal of the
+// cluster's latency-sensitive routing.
+func (s *Scheduler) OutstandingWork() float64 {
+	s.outMu.Lock()
+	defer s.outMu.Unlock()
+	return s.outWork
+}
+
+// QueuedJobs returns the jobs waiting in the class queues (accepted
+// but not yet dispatched to a worker) — the work-stealing signal.
+func (s *Scheduler) QueuedJobs() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.queued
+}
+
+// outstandingAdd transfers outstanding-job accounting during a steal.
+func (s *Scheduler) outstandingAdd(jobs int, work float64) {
+	s.outMu.Lock()
+	s.outstanding += jobs
+	s.outWork += work
+	if s.outstanding == 0 {
+		s.outCond.Broadcast()
+	}
+	s.outMu.Unlock()
+}
+
+// ResetClocks zeroes the backend's simulated clocks together with the
+// QoS state derived from them — the monotonic enqueue-stamp floor and
+// the per-class latency samples — so steady-state measurement after a
+// warm-up starts from a clean timeline (stale stamps would force
+// post-reset enqueues into the future, fabricating zero latencies and
+// spurious deadline hits). Counter totals are preserved. Call it only
+// while the scheduler is idle.
+func (s *Scheduler) ResetClocks() {
+	s.backend.ResetClocks()
+	s.qmu.Lock()
+	s.lastEnq = 0
+	s.qmu.Unlock()
+	s.statMu.Lock()
+	for i := range s.latency {
+		s.latency[i].reset()
+	}
+	s.statMu.Unlock()
+}
+
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats {
 	s.statMu.Lock()
 	st := s.stats
 	st.PerWorker = append([]int64(nil), s.stats.PerWorker...)
+	st.PerClass = append([]ClassStats(nil), s.classStat...)
+	for i := range st.PerClass {
+		st.PerClass[i].P50, st.PerClass[i].P99 = quantiles(s.latency[i].samples())
+	}
 	s.statMu.Unlock()
 	st.CacheHits, st.CacheMisses = s.backend.Cache().Stats()
 	return st
 }
 
-// dispatch pulls tasks off the intake channel, groups whatever has
-// accumulated by shape, and hands batches to the least-loaded worker.
-// Batching is opportunistic: under light load every job ships alone
-// with no added latency; under heavy load same-shape jobs naturally
-// pile up in the intake buffer and coalesce.
+// classLatencies copies the per-class simulated-latency samples (the
+// cluster merges shard samples before computing quantiles).
+func (s *Scheduler) classLatencies() [][]float64 {
+	s.statMu.Lock()
+	defer s.statMu.Unlock()
+	out := make([][]float64, len(s.latency))
+	for i := range s.latency {
+		out[i] = s.latency[i].samples()
+	}
+	return out
+}
+
+// quantiles returns the nearest-rank p50 and p99 of the samples.
+func quantiles(samples []float64) (p50, p99 float64) {
+	if len(samples) == 0 {
+		return 0, 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	rank := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	return rank(0.50), rank(0.99)
+}
+
+// dispatch is the policy-driven pump: whenever a worker has queue
+// room, it asks the qos.Policy which class runs next, coalesces
+// same-shape jobs from the head of that class's queue into a batch,
+// and ships it to the least-loaded eligible worker. Batching is
+// opportunistic: under light load every job ships alone with no
+// added latency; under heavy load the class queues hold a backlog
+// and same-shape neighbors coalesce.
 func (s *Scheduler) dispatch() {
 	defer s.dispWg.Done()
 	defer func() {
@@ -269,65 +589,198 @@ func (s *Scheduler) dispatch() {
 			close(w.ch)
 		}
 	}()
-	maxDrain := s.cfg.Workers * s.cfg.MaxBatch
+	stopc := s.stopc
 	for {
-		t, ok := <-s.intake
-		if !ok {
-			return
+		s.shipAll()
+		if stopc == nil && s.QueuedJobs() == 0 {
+			return // closed and flushed; workers drain their channels
 		}
-		// Greedily drain what else is already queued, preserving
-		// arrival order per shape.
-		pending := [][]*task{{t}}
-		index := map[string]int{t.job.ShapeKey(): 0}
-		total := 1
-	drain:
-		for total < maxDrain {
-			select {
-			case t2, ok := <-s.intake:
-				if !ok {
-					break drain
-				}
-				key := t2.job.ShapeKey()
-				if i, seen := index[key]; seen {
-					pending[i] = append(pending[i], t2)
-				} else {
-					index[key] = len(pending)
-					pending = append(pending, []*task{t2})
-				}
-				total++
-			default:
-				break drain
-			}
-		}
-		// Ship every shape group now (no timers, no starvation),
-		// chunked to MaxBatch.
-		for _, group := range pending {
-			for len(group) > 0 {
-				n := len(group)
-				if n > s.cfg.MaxBatch {
-					n = s.cfg.MaxBatch
-				}
-				w := s.leastLoaded()
-				w.pending.Add(int64(n))
-				w.ch <- group[:n] // may block: backpressure
-				group = group[n:]
-			}
+		select {
+		case <-s.kick:
+		case <-s.freec:
+		case <-stopc:
+			stopc = nil
 		}
 	}
 }
 
-// leastLoaded picks the worker with the fewest outstanding jobs
-// (queued or running — batch sizes counted, not just batch counts;
-// ties go to the lowest id, which also spreads load across tiles
-// since workers are pinned round-robin).
-func (s *Scheduler) leastLoaded() *worker {
-	best := s.workers[0]
-	for _, w := range s.workers[1:] {
-		if w.pending.Load() < best.pending.Load() {
+// shipAll dispatches batches while a worker has channel room and the
+// policy yields work.
+func (s *Scheduler) shipAll() {
+	for {
+		w := s.eligibleWorker()
+		if w == nil {
+			return
+		}
+		batch := s.popBatch()
+		if batch == nil {
+			return
+		}
+		w.pending.Add(int64(len(batch)))
+		w.ch <- batch // guaranteed room: dispatcher is the only sender
+	}
+}
+
+// eligibleWorker picks the worker with the fewest outstanding jobs
+// among those with room in their batch channel (ties go to the lowest
+// id, which also spreads load across tiles since workers are pinned
+// round-robin). Returns nil when every channel is full.
+func (s *Scheduler) eligibleWorker() *worker {
+	var best *worker
+	for _, w := range s.workers {
+		if len(w.ch) >= cap(w.ch) {
+			continue
+		}
+		if best == nil || w.pending.Load() < best.pending.Load() {
 			best = w
 		}
 	}
 	return best
+}
+
+// popBatch asks the policy for the next class and removes a batch of
+// same-shape jobs from the head of its queue (preserving the queue
+// order of the rest). Returns nil when every queue is empty.
+func (s *Scheduler) popBatch() []*task {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.queued == 0 {
+		return nil
+	}
+	now := s.backend.SimulatedSeconds()
+	states := make([]qos.QueueState, len(s.queues))
+	for i, q := range s.queues {
+		if len(q) == 0 {
+			continue
+		}
+		oldest := q[0].enq
+		if s.deadline {
+			// Deadline ordering can pin an old deadline-less job at
+			// the tail; aging needs the true longest wait.
+			for _, t := range q[1:] {
+				if t.enq < oldest {
+					oldest = t.enq
+				}
+			}
+		}
+		states[i] = qos.QueueState{
+			Len:            len(q),
+			HeadEnqueued:   q[0].enq,
+			HeadDeadline:   q[0].deadline,
+			OldestEnqueued: oldest,
+		}
+	}
+	c := s.policy.Pick(now, s.classes, states)
+	if c < 0 {
+		return nil
+	}
+	q := s.queues[c]
+	head := q[0]
+	batch := []*task{head}
+	key := head.job.ShapeKey()
+	// In-place filter: keep non-batched tasks in order (writes always
+	// trail reads, so the compaction never clobbers an unread entry).
+	rest := q[:0]
+	for _, t := range q[1:] {
+		if len(batch) < s.cfg.MaxBatch && t.job.ShapeKey() == key {
+			batch = append(batch, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	for i := len(rest); i < len(q); i++ {
+		q[i] = nil
+	}
+	s.queues[c] = rest
+	s.queued -= len(batch)
+	s.policy.Dispatched(c, len(batch))
+	s.qcond.Broadcast() // queue space freed: wake blocked Submits
+	return batch
+}
+
+// stealQueued removes up to max queued tasks for migration to another
+// shard: tail-first from the largest class backlog, so the head jobs
+// the policy is about to serve stay local. Time stamps are converted
+// to relative form (enq = elapsed wait, deadline = remaining budget);
+// the receiver rebases them via injectTasks. Outstanding accounting
+// stays with this scheduler until the caller transfers it.
+func (s *Scheduler) stealQueued(max int) []*task {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if s.queued == 0 || max <= 0 {
+		return nil
+	}
+	now := s.backend.SimulatedSeconds()
+	var out []*task
+	for len(out) < max {
+		victim := -1
+		for i, q := range s.queues {
+			if len(q) == 0 {
+				continue
+			}
+			if victim < 0 || len(q) > len(s.queues[victim]) {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		q := s.queues[victim]
+		t := q[len(q)-1]
+		q[len(q)-1] = nil
+		s.queues[victim] = q[:len(q)-1]
+		s.queued--
+		t.enq = now - t.enq // elapsed wait
+		if !math.IsInf(t.deadline, 1) {
+			t.deadline -= now // remaining budget (may be negative)
+		}
+		out = append(out, t)
+	}
+	if len(out) > 0 {
+		s.statMu.Lock()
+		s.stats.StolenOut += int64(len(out))
+		s.statMu.Unlock()
+		s.qcond.Broadcast()
+	}
+	return out
+}
+
+// injectTasks enqueues tasks stolen from another shard (relative time
+// stamps from stealQueued), rebasing their wait and deadline onto
+// this backend's clock. Admission control is bypassed — the jobs were
+// admitted at their original shard. It returns false when the
+// scheduler is closed (nothing is enqueued; the caller must re-home
+// the tasks).
+func (s *Scheduler) injectTasks(ts []*task) bool {
+	if len(ts) == 0 {
+		return true
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return false
+	}
+	now := s.backend.SimulatedSeconds()
+	var work float64
+	s.qmu.Lock()
+	for _, t := range ts {
+		t.enq = now - t.enq // preserve elapsed wait on the new clock
+		if !math.IsInf(t.deadline, 1) {
+			t.deadline += now // remaining budget from now
+		}
+		s.enqueueLocked(t)
+		work += t.work()
+	}
+	s.qmu.Unlock()
+	// StolenIn tracks the migration; Submitted stays with the shard
+	// that admitted the job, so cluster aggregates keep Submitted ==
+	// Completed after a drain.
+	s.statMu.Lock()
+	s.stats.StolenIn += int64(len(ts))
+	s.statMu.Unlock()
+	s.outstandingAdd(len(ts), work)
+	s.wake(s.kick)
+	return true
 }
 
 // staged is the device-side state of one job mid-batch.
@@ -346,6 +799,8 @@ type staged struct {
 func (s *Scheduler) runWorker(w *worker) {
 	defer s.workWg.Done()
 	for batch := range w.ch {
+		// The batch left the channel: a dispatch slot freed up.
+		s.wake(s.freec)
 		// Record batch stats up front: jobDone on the batch's last job
 		// releases Drain, and Stats() must already see this batch then.
 		s.batchStarted(len(batch))
@@ -358,7 +813,7 @@ func (s *Scheduler) runWorker(w *worker) {
 			sj.t.fut.err = sj.err
 			close(sj.t.fut.done)
 			w.pending.Add(-1)
-			s.jobDone(w, sj.err != nil, len(batch))
+			s.jobDone(w, sj.t, sj.err != nil, len(batch))
 		}
 	}
 }
@@ -446,12 +901,28 @@ func (w *worker) freeAll(sj *staged) {
 	sj.vals = nil
 }
 
-func (s *Scheduler) jobDone(w *worker, failed bool, batchLen int) {
+func (s *Scheduler) jobDone(w *worker, t *task, failed bool, batchLen int) {
+	done := s.backend.SimulatedSeconds()
+	lat := done - t.enq
+	if lat < 0 {
+		lat = 0
+	}
 	s.statMu.Lock()
 	s.stats.Jobs++
+	cs := &s.classStat[t.class]
+	cs.Completed++
 	if failed {
 		s.stats.Failed++
+		cs.Failed++
 	}
+	if !math.IsInf(t.deadline, 1) {
+		if done <= t.deadline {
+			cs.DeadlineHit++
+		} else {
+			cs.DeadlineMiss++
+		}
+	}
+	s.latency[t.class].add(lat)
 	if batchLen >= 2 {
 		s.stats.Coalesced++
 	}
@@ -459,6 +930,7 @@ func (s *Scheduler) jobDone(w *worker, failed bool, batchLen int) {
 	s.statMu.Unlock()
 	s.outMu.Lock()
 	s.outstanding--
+	s.outWork -= t.work()
 	if s.outstanding == 0 {
 		s.outCond.Broadcast()
 	}

@@ -43,16 +43,42 @@
 //	ct, err := fut.Wait()
 //	out := kit.Decrypt(ct)
 //
+// # Quality of service
+//
+// Mixed traffic is first-class: every job carries a JobClass
+// (Interactive, Batch — the default — or Background, plus any
+// user-defined tiers) and optionally a simulated-time deadline, and
+// the scheduler dispatches by a pluggable policy — weighted fair
+// queuing by default, strict priority or earliest-deadline-first via
+// ServiceConfig.Policy / ClusterConfig.Policy — with aging so no
+// class ever starves:
+//
+//	job := xehe.NewJob(ct).WithClass(xehe.Interactive).WithDeadline(0.005)
+//	job.MulRelinRescale(0, 0)
+//	fut, err := svc.Submit(job)
+//	if errors.Is(err, xehe.ErrOverloaded) {
+//		// interactive share full: shed load, retry later
+//	}
+//
+// Admission control bounds each class's slice of the pending queue:
+// full-share classes (Batch) block Submit when saturated — classic
+// backpressure — while partial-share classes (Interactive,
+// Background) fail fast with ErrOverloaded instead of queueing
+// behind a backlog that already guarantees a blown latency target.
+// Stats report per-class completions, deadline hits/misses and
+// p50/p99 simulated latency.
+//
 // # Multi-device cluster
 //
 // Cluster scales the same Submit/Wait/Close surface across several
 // devices — the multi-GPU / heterogeneous-platform direction the paper
 // names as future work. Each device is one shard: a full scheduler
 // with its own worker pool, tile queues, buffer cache and replicated
-// keys. A front-end router sends every job to the least-loaded shard,
-// weighted by device throughput, so a heterogeneous Device1+Device2
-// pair splits a uniform load roughly in proportion to their peak
-// GIOPS:
+// keys. A QoS-aware router sends latency-sensitive jobs to the shard
+// with the least expected wait and everything else to the weighted
+// least-loaded shard, idle shards steal queued work from the longest
+// backlog, and a heterogeneous Device1+Device2 pair splits a uniform
+// load roughly in proportion to their peak GIOPS:
 //
 //	cl := xehe.NewCluster(params, kit,
 //		[]xehe.DeviceKind{xehe.Device1, xehe.Device1, xehe.Device2},
@@ -79,6 +105,7 @@ import (
 	"xehe/internal/core"
 	"xehe/internal/gpu"
 	"xehe/internal/ntt"
+	"xehe/internal/qos"
 	"xehe/internal/sched"
 )
 
@@ -278,11 +305,57 @@ func (e *GPUEvaluator) Rotate(a *Ciphertext, k int) *Ciphertext {
 // (Add, MulRelin, MulRelinRescale, SquareRelinRescale, Rotate,
 // ModSwitch); each returns the value index of its result so later ops
 // can reference it. The last op's result is the job's output.
+// WithClass and WithDeadline tag the job for QoS dispatch.
 type Job = sched.Job
 
 // NewJob starts a job over the given encrypted inputs (value indices
-// 0..len(inputs)-1).
+// 0..len(inputs)-1). The job defaults to the Batch class.
 func NewJob(inputs ...*Ciphertext) *Job { return sched.NewJob(inputs...) }
+
+// JobClass selects a job's QoS tier (an index into the scheduler's
+// class table; set it with Job.WithClass).
+type JobClass = qos.ClassID
+
+// The built-in traffic tiers: Interactive is latency-sensitive (high
+// weight, expected-wait routing, bounded admission share so overload
+// sheds with ErrOverloaded), Batch is the bulk default (full share,
+// blocking backpressure), Background is best-effort.
+const (
+	Interactive = qos.Interactive
+	Batch       = qos.Batch
+	Background  = qos.Background
+)
+
+// ClassSpec describes one traffic tier (name, WFQ weight, strict
+// priority, admission share, routing sensitivity). Pass a custom
+// table via ServiceConfig.Classes to define your own tiers.
+type ClassSpec = qos.Class
+
+// DefaultClasses returns the built-in Interactive/Batch/Background
+// class table.
+func DefaultClasses() []ClassSpec { return qos.DefaultClasses() }
+
+// SchedPolicy builds the dispatch policy deciding which class's
+// backlog runs next; assign one of the Policy* factories (or a custom
+// qos.Policy constructor) to ServiceConfig.Policy.
+type SchedPolicy = qos.Factory
+
+// The built-in dispatch policies. See internal/qos for the selection
+// guide: WFQ (default) keeps every class moving in proportion to its
+// weight; strict priority minimizes interactive latency and relies on
+// aging to avoid starving batch work; EDF meets every meetable
+// deadline on a single worker; FIFO is the class-blind baseline.
+var (
+	PolicyWFQ            SchedPolicy = qos.WFQ
+	PolicyStrictPriority SchedPolicy = qos.StrictPriority
+	PolicyEDF            SchedPolicy = qos.EDF
+	PolicyFIFO           SchedPolicy = qos.FIFO
+)
+
+// ClassStats is the per-class slice of the service counters:
+// submissions, completions, failures, admission rejections, deadline
+// hits/misses and p50/p99 simulated latency.
+type ClassStats = sched.ClassStats
 
 // Pending is the in-flight handle of a submitted job; Wait blocks for
 // the result.
@@ -307,6 +380,21 @@ type ServiceConfig struct {
 	// MaxBatch caps how many same-shape jobs are coalesced into one
 	// batch; 1 disables batching. Default 8.
 	MaxBatch int
+	// PendingCap bounds the pending queue (jobs accepted but not yet
+	// dispatched — the pool the QoS policy reorders); class admission
+	// shares are fractions of it. Default Workers*QueueDepth*MaxBatch.
+	PendingCap int
+	// Classes is the QoS class table jobs reference via WithClass.
+	// nil selects DefaultClasses() (Interactive/Batch/Background).
+	Classes []ClassSpec
+	// Policy selects the dispatch policy (PolicyWFQ, the default, or
+	// PolicyStrictPriority / PolicyEDF / PolicyFIFO / custom).
+	Policy SchedPolicy
+	// Aging is the starvation-protection window in simulated seconds:
+	// a class whose head job has waited this long overrides the
+	// policy's pick. 0 selects the default (qos.DefaultAging);
+	// negative disables aging.
+	Aging float64
 	// WarmBuffers pre-populates the device buffer cache with this many
 	// working-set-sized buffers at construction, so steady-state jobs
 	// never pay a cold driver allocation (runtime allocations
@@ -330,6 +418,10 @@ func (sc ServiceConfig) schedConfig() sched.Config {
 		Workers:     sc.Workers,
 		QueueDepth:  sc.QueueDepth,
 		MaxBatch:    sc.MaxBatch,
+		PendingCap:  sc.PendingCap,
+		Classes:     sc.Classes,
+		Policy:      sc.Policy,
+		Aging:       sc.Aging,
 		WarmBuffers: sc.WarmBuffers,
 		Core:        backend,
 	}
@@ -375,13 +467,15 @@ func (s *Service) Stats() ServiceStats { return s.s.Stats() }
 // device so far (the busiest of host and tile timelines).
 func (s *Service) SimulatedSeconds() float64 { return s.dev.SimulatedSeconds() }
 
-// ResetSimClocks zeroes the simulated device clocks (allocation
-// statistics are preserved), so steady-state throughput can be
-// measured after a warm-up phase has populated the buffer cache (cold
-// driver allocations serialize the pipeline). Call it only while the
-// service is idle — after Wait and before the next Submit — otherwise
-// in-flight timing is corrupted.
-func (s *Service) ResetSimClocks() { s.dev.ResetClocks() }
+// ResetSimClocks zeroes the simulated device clocks and the QoS state
+// derived from them (enqueue-stamp floor, latency sample windows;
+// allocation statistics and counter totals are preserved), so
+// steady-state throughput and latency can be measured after a warm-up
+// phase has populated the buffer cache (cold driver allocations
+// serialize the pipeline). Call it only while the service is idle —
+// after Wait and before the next Submit — otherwise in-flight timing
+// is corrupted.
+func (s *Service) ResetSimClocks() { s.s.ResetClocks() }
 
 // ClusterStats snapshots the cluster counters: the embedded aggregate
 // plus per-shard breakdowns and the router's per-shard job counts.
@@ -434,16 +528,24 @@ var ErrClosed = sched.ErrClosed
 // retired via CloseShard but the cluster itself is still open.
 var ErrNoShards = sched.ErrNoShards
 
+// ErrOverloaded is returned by Submit when the job's class has a
+// partial admission share (ClassSpec.Share < 1) and its slice of the
+// pending queue is full — on a Cluster, only once every open shard
+// has shed it. Full-share classes block instead (backpressure).
+var ErrOverloaded = sched.ErrOverloaded
+
 // Submit validates and enqueues a job on the least-loaded open shard.
 // It blocks when that shard's pipeline is saturated (backpressure) and
 // returns an error for malformed jobs, ErrClosed after Close, or
 // ErrNoShards when every shard has been retired.
 func (c *Cluster) Submit(job *Job) (*Pending, error) { return c.cl.Submit(job) }
 
-// CloseShard takes shard i out of rotation and closes its scheduler,
-// draining the jobs already routed there — e.g. to retire a failing
-// device without stopping the cluster. It is idempotent per shard;
-// once every shard is retired, Submit returns ErrNoShards.
+// CloseShard takes shard i out of rotation, re-routes its queued
+// backlog to the remaining open shards, and closes its scheduler,
+// draining the jobs already on its workers — e.g. to retire a failing
+// device without stopping the cluster or stranding accepted jobs. It
+// is idempotent per shard; once every shard is retired, Submit
+// returns ErrNoShards.
 func (c *Cluster) CloseShard(i int) { c.cl.CloseShard(i) }
 
 // Wait blocks until every job submitted so far has completed on every

@@ -265,6 +265,108 @@ func TestServiceRejectsMalformedJobs(t *testing.T) {
 	}
 }
 
+// TestServiceQoSFacade drives the QoS surface end to end: classed and
+// deadlined jobs through a policy-configured service, per-class stats
+// populated, and the admission-control error surfaced for a
+// partial-share class under flood.
+func TestServiceQoSFacade(t *testing.T) {
+	params, kit := fixture(t)
+	svc := NewService(params, kit, Device1, ServiceConfig{
+		Workers: 2,
+		Policy:  PolicyWFQ,
+	})
+	defer svc.Close()
+
+	a := randVec(params.Slots(), 30)
+	ct := kit.Encrypt(a)
+	mk := func(class JobClass, deadline float64) *Job {
+		j := NewJob(ct).WithClass(class).WithDeadline(deadline)
+		j.SquareRelinRescale(0)
+		return j
+	}
+	futs := []*Pending{}
+	for i := 0; i < 4; i++ {
+		fut, err := svc.Submit(mk(Interactive, 1e6)) // generous: always a hit
+		if err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+		if fut, err = svc.Submit(mk(Batch, 0)); err != nil {
+			t.Fatal(err)
+		}
+		futs = append(futs, fut)
+	}
+	svc.Wait()
+	for i, fut := range futs {
+		ctOut, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		got := kit.Decrypt(ctOut)
+		for s := range a {
+			if cmplx.Abs(got[s]-a[s]*a[s]) > 1e-3 {
+				t.Fatalf("job %d slot %d: %v, want %v", i, s, got[s], a[s]*a[s])
+			}
+		}
+	}
+	st := svc.Stats()
+	if len(st.PerClass) != 3 {
+		t.Fatalf("PerClass has %d entries, want 3", len(st.PerClass))
+	}
+	inter, batch := st.PerClass[Interactive], st.PerClass[Batch]
+	if inter.Completed != 4 || batch.Completed != 4 {
+		t.Fatalf("per-class completions %d/%d, want 4/4", inter.Completed, batch.Completed)
+	}
+	if inter.DeadlineHit != 4 || inter.DeadlineMiss != 0 {
+		t.Fatalf("interactive deadline stats %d hit / %d miss, want 4/0", inter.DeadlineHit, inter.DeadlineMiss)
+	}
+	if inter.P50 <= 0 || inter.P99 < inter.P50 {
+		t.Fatalf("latency quantiles inconsistent: %+v", inter)
+	}
+	if inter.Name != "interactive" || batch.Name != "batch" {
+		t.Fatalf("class names %q/%q", inter.Name, batch.Name)
+	}
+}
+
+// TestServiceOverloadSurfacesErrOverloaded pins the public admission
+// contract: a partial-share class floods into ErrOverloaded while the
+// service keeps draining (no wedge), and rejections are counted.
+func TestServiceOverloadSurfacesErrOverloaded(t *testing.T) {
+	params, kit := fixture(t)
+	svc := NewService(params, kit, Device2, ServiceConfig{
+		Workers:    1,
+		QueueDepth: 1,
+		MaxBatch:   1, // pending capacity 1: interactive share -> 1 slot
+	})
+	defer svc.Close()
+	ct := kit.Encrypt(randVec(params.Slots(), 31))
+	var rejected, accepted int
+	for i := 0; i < 25; i++ {
+		j := NewJob(ct).WithClass(Interactive)
+		j.SquareRelinRescale(0)
+		_, err := svc.Submit(j)
+		switch err {
+		case nil:
+			accepted++
+		case ErrOverloaded:
+			rejected++
+		default:
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if rejected == 0 || accepted == 0 {
+		t.Fatalf("flood split %d accepted / %d rejected; want both non-zero", accepted, rejected)
+	}
+	svc.Wait() // must not wedge on shed jobs
+	st := svc.Stats()
+	if st.PerClass[Interactive].Rejected != int64(rejected) {
+		t.Fatalf("stats count %d rejected, caller saw %d", st.PerClass[Interactive].Rejected, rejected)
+	}
+	if st.Jobs != int64(accepted) {
+		t.Fatalf("jobs = %d, want %d", st.Jobs, accepted)
+	}
+}
+
 // TestServiceBackendOverride pins that the naive baseline — whose
 // Config is the zero value — is selectable through ServiceConfig
 // (regression: a value-typed Backend field silently replaced it with
