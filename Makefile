@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-record clean
+.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-record clean
 
 all: build test
 
@@ -42,9 +42,17 @@ bench-smoke:
 	$(GO) test -bench 'Benchmark(Service|Cluster)Throughput' -benchtime 50x -run '^$$' .
 	$(GO) run ./cmd/xehe-bench -cluster 50 -json
 
+# Cross-job kernel fusion smoke: a single low-N pass over the fused
+# service benchmark plus the fused-vs-unfused sweep as JSON rows, so a
+# regression that erases the fusion win (or breaks the fused path's
+# -json contract) fails CI quickly.
+bench-fusion:
+	$(GO) test -bench 'BenchmarkServiceThroughput/workers=2' -benchtime 50x -run '^$$' .
+	$(GO) run ./cmd/xehe-bench -fusion 50 -json
+
 # Record the bench trajectory: the standard 500-job cluster + mixed
-# QoS sweep, machine-readable, written to the repo root (CI uploads
-# it as an artifact so the trajectory is preserved per commit).
+# QoS + fusion sweep, machine-readable, written to the repo root (CI
+# uploads it as an artifact so the trajectory is preserved per commit).
 bench-record:
 	$(GO) run ./cmd/xehe-bench -cluster 500 -json > BENCH_cluster.json
 	@wc -l BENCH_cluster.json

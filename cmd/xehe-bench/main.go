@@ -9,6 +9,7 @@
 //	xehe-bench -service 200    # concurrent-scheduler throughput sweep
 //	xehe-bench -cluster 200    # multi-device cluster sweep (1/2/4 devices + heterogeneous)
 //	xehe-bench -cluster 200 -json  # same, as machine-readable JSON
+//	xehe-bench -fusion 200     # fused vs unfused cross-job kernel fusion sweep
 package main
 
 import (
@@ -28,7 +29,8 @@ func main() {
 	tab := flag.String("tab", "", "table to reproduce: 1")
 	service := flag.Int("service", 0, "run the concurrent-scheduler throughput sweep with this many jobs per worker count")
 	cluster := flag.Int("cluster", 0, "run the multi-device cluster throughput sweep with this many jobs per configuration")
-	jsonOut := flag.Bool("json", false, "emit -service/-cluster results as machine-readable JSON instead of tables")
+	fusion := flag.Int("fusion", 0, "run the fused-vs-unfused kernel fusion sweep with this many jobs per configuration")
+	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion results as machine-readable JSON instead of tables")
 	flag.Parse()
 
 	if *service > 0 {
@@ -37,6 +39,12 @@ func main() {
 	}
 	if *cluster > 0 {
 		clusterThroughput(*cluster, *jsonOut)
+		return
+	}
+	if *fusion > 0 {
+		if results := fusionSweep(*fusion, *jsonOut); *jsonOut {
+			emitResults(results)
+		}
 		return
 	}
 
@@ -106,9 +114,13 @@ type throughputResult struct {
 	SimJobsPerSec float64 `json:"sim_jobs_per_sec"` // simulated device time
 	Batches       int64   `json:"batches,omitempty"`
 	Coalesced     int64   `json:"coalesced,omitempty"`
-	Routed        []int64 `json:"routed,omitempty"` // per-shard job counts (cluster only)
-	Stolen        []int64 `json:"stolen,omitempty"` // per-shard stolen-job counts (cluster only)
-	Class         string  `json:"class,omitempty"`  // per-class rows of the mixed sweep
+	MaxBatch      int     `json:"max_batch,omitempty"`     // largest coalesced batch (fusion sweep)
+	FusedBatches  int64   `json:"fused_batches,omitempty"` // batches run through the fused path
+	FusedSteps    int64   `json:"fused_steps,omitempty"`   // op-chain steps launched once per batch
+	UnfusedSteps  int64   `json:"unfused_steps,omitempty"` // op-chain steps launched once per job
+	Routed        []int64 `json:"routed,omitempty"`        // per-shard job counts (cluster only)
+	Stolen        []int64 `json:"stolen,omitempty"`        // per-shard stolen-job counts (cluster only)
+	Class         string  `json:"class,omitempty"`         // per-class rows of the mixed sweep
 	P50Ms         float64 `json:"p50_sim_ms,omitempty"`
 	P99Ms         float64 `json:"p99_sim_ms,omitempty"`
 	DeadlineHit   int64   `json:"deadline_hit,omitempty"`
@@ -264,9 +276,75 @@ func clusterThroughput(jobs int, jsonOut bool) {
 		cl.Close()
 	}
 	results = append(results, mixedWorkload(jobs, jsonOut)...)
+	results = append(results, fusionSweep(jobs, jsonOut)...)
 	if jsonOut {
 		emitResults(results)
 	}
+}
+
+// fusionSweep is the cross-job kernel fusion sweep: the standard
+// MulRelinRS+Rotate stream runs through a 2x Device1 cluster with
+// fused and unfused batch execution at MaxBatch 4 and 8. The
+// acceptance contract: fused simulated throughput beats unfused at
+// equal batch shape (the fused path pays kernel launch and host
+// submission overhead once per op-chain step per batch instead of
+// once per job), with results bit-identical either way.
+func fusionSweep(jobs int, jsonOut bool) []throughputResult {
+	params, kit, cta, ctb := benchInputs()
+	var results []throughputResult
+	if !jsonOut {
+		fmt.Printf("\ncross-job kernel fusion sweep (%d jobs, MulRelinRS + Rotate at N=4096 L=4, on 2x Device1)\n\n", jobs)
+		fmt.Printf("%-16s %8s %12s %14s %10s %10s %12s %14s\n",
+			"config", "devices", "jobs/sec", "sim-jobs/sec", "batches", "coalesced", "fused-steps", "unfused-steps")
+	}
+	for _, cfg := range []struct {
+		name     string
+		maxBatch int
+		fuse     bool
+	}{
+		{"unfused/mb=4", 4, false},
+		{"fused/mb=4", 4, true},
+		{"unfused/mb=8", 8, false},
+		{"fused/mb=8", 8, true},
+	} {
+		cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device1},
+			xehe.ClusterConfig{WarmBuffers: 32, MaxBatch: cfg.maxBatch, FuseKernels: cfg.fuse})
+		submit := func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := cl.Submit(buildJob(cta, ctb)); err != nil {
+					fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		submit(16)
+		cl.Wait()
+		cl.ResetSimClocks()
+		warm := cl.Stats()
+		start := time.Now()
+		submit(jobs)
+		cl.Wait()
+		wall := time.Since(start).Seconds()
+		st := cl.Stats()
+		r := throughputResult{
+			Bench: "fusion", Config: cfg.name, Devices: 2, Jobs: jobs,
+			JobsPerSec:    float64(jobs) / wall,
+			SimJobsPerSec: float64(jobs) / cl.SimulatedSeconds(),
+			Batches:       st.Batches - warm.Batches,
+			Coalesced:     st.Coalesced - warm.Coalesced,
+			MaxBatch:      st.MaxBatch,
+			FusedBatches:  st.FusedBatches - warm.FusedBatches,
+			FusedSteps:    st.FusedSteps - warm.FusedSteps,
+			UnfusedSteps:  st.UnfusedSteps - warm.UnfusedSteps,
+		}
+		results = append(results, r)
+		if !jsonOut {
+			fmt.Printf("%-16s %8d %12.1f %14.0f %10d %10d %12d %14d\n",
+				r.Config, r.Devices, r.JobsPerSec, r.SimJobsPerSec, r.Batches, r.Coalesced, r.FusedSteps, r.UnfusedSteps)
+		}
+		cl.Close()
+	}
+	return results
 }
 
 // mixedClass assigns the deterministic class mix of the standard

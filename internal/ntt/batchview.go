@@ -1,0 +1,108 @@
+package ntt
+
+import "fmt"
+
+// BatchView is a fusion-friendly view over the polynomial slices of
+// one batched NTT launch: polys × qCount independent N-point rows that
+// need not be contiguous in a single allocation. The Engine's kernels
+// address the batch exclusively through Row(p, q), so a view can stitch
+// together slices from many device buffers — typically the polynomials
+// of several coalesced jobs — and drive them through one wider kernel
+// launch instead of one launch per job (cross-job kernel fusion).
+//
+// Row (p, q) is transform p under tables/modulus q. The contiguous
+// single-buffer layout the engine has always used — slice (p, q) at
+// offset (p*qCount+q)*N — is just the special case built by
+// ContiguousView.
+//
+// A view is immutable once handed to the engine; the engine reads and
+// writes the row contents but never the row table. Rows must be
+// pairwise non-overlapping: two rows aliasing the same memory would
+// race inside one launch (work-groups run concurrently). Views built
+// from distinct live device buffers satisfy this by construction.
+type BatchView struct {
+	n      int
+	polys  int
+	qCount int
+	rows   [][]uint64 // indexed p*qCount+q; nil rows only in analytic views
+}
+
+// NewBatchView allocates an empty view of polys × qCount rows of
+// length n each; fill it with SetRow/SetPoly. Rows may stay nil when
+// the view only drives an analytic (timing-only) engine.
+func NewBatchView(polys, qCount, n int) *BatchView {
+	if polys <= 0 || qCount <= 0 {
+		panic(fmt.Sprintf("ntt: batch view needs positive dimensions, got %d x %d", polys, qCount))
+	}
+	return &BatchView{n: n, polys: polys, qCount: qCount, rows: make([][]uint64, polys*qCount)}
+}
+
+// ContiguousView wraps the engine's classic flat batch layout — slice
+// (p, q) at offset (p*qCount+q)*n of one allocation — as a view. A nil
+// data slice builds a shape-only view for analytic execution.
+func ContiguousView(data []uint64, polys, qCount, n int) *BatchView {
+	v := NewBatchView(polys, qCount, n)
+	if data == nil {
+		return v
+	}
+	if len(data) < polys*qCount*n {
+		panic("ntt: data slice too short for batch")
+	}
+	for i := range v.rows {
+		v.rows[i] = data[i*n : (i+1)*n]
+	}
+	return v
+}
+
+// SetRow installs the slice of transform p under tables index q.
+func (v *BatchView) SetRow(p, q int, row []uint64) {
+	if len(row) < v.n {
+		panic(fmt.Sprintf("ntt: batch row (%d,%d) has %d words, need %d", p, q, len(row), v.n))
+	}
+	v.rows[p*v.qCount+q] = row[:v.n]
+}
+
+// SetPoly installs all qCount rows of transform p from a polynomial's
+// per-component slices (rows[q] is the component under tables index q).
+func (v *BatchView) SetPoly(p int, rows [][]uint64) {
+	if len(rows) < v.qCount {
+		panic(fmt.Sprintf("ntt: poly %d has %d components, view needs %d", p, len(rows), v.qCount))
+	}
+	for q := 0; q < v.qCount; q++ {
+		v.SetRow(p, q, rows[q])
+	}
+}
+
+// Row returns the slice of transform p under tables index q.
+func (v *BatchView) Row(p, q int) []uint64 { return v.rows[p*v.qCount+q] }
+
+// N returns the transform size.
+func (v *BatchView) N() int { return v.n }
+
+// Polys returns the number of transforms per tables entry.
+func (v *BatchView) Polys() int { return v.polys }
+
+// QCount returns the number of tables entries (RNS moduli) per poly.
+func (v *BatchView) QCount() int { return v.qCount }
+
+// sliceOf returns the (p, q) slice of a contiguous flat batch.
+func sliceOf(data []uint64, p, q, qCount, n int) []uint64 {
+	off := (p*qCount + q) * n
+	return data[off : off+n]
+}
+
+// check validates that every row a functional launch will touch is
+// installed; analytic launches never read rows and skip it.
+func (v *BatchView) check(tbls []*Tables) {
+	if len(tbls) != v.qCount {
+		panic(fmt.Sprintf("ntt: view has %d tables columns but %d tables given", v.qCount, len(tbls)))
+	}
+	if tbls[0].N != v.n {
+		panic(fmt.Sprintf("ntt: view is %d-point but tables are %d-point", v.n, tbls[0].N))
+	}
+	for i, r := range v.rows {
+		if r == nil {
+			panic(fmt.Sprintf("ntt: batch row (%d,%d) not set", i/v.qCount, i%v.qCount))
+		}
+	}
+}

@@ -137,8 +137,13 @@ func roundProfile(r int) isa.Profile {
 }
 
 // Engine executes batched negacyclic NTTs of one variant on the
-// simulated GPU. A batch is polys × len(tbls) independent transforms
-// laid out contiguously: slice (p, q) starts at (p*len(tbls)+q)*N.
+// simulated GPU. A batch is polys × len(tbls) independent transforms,
+// addressed either contiguously (Forward/Inverse: slice (p, q) starts
+// at (p*len(tbls)+q)*N of one allocation) or through a BatchView
+// (ForwardView/InverseView: rows gathered from arbitrary buffers, the
+// cross-job fusion path). Either way the whole batch shares one kernel
+// sequence, paying launch overhead per transform round rather than per
+// polynomial.
 type Engine struct {
 	V Variant
 	// Analytic skips the functional kernel bodies and only accounts
@@ -154,17 +159,48 @@ func NewEngine(v Variant) *Engine { return &Engine{V: v} }
 // NewAnalyticEngine returns an engine that only simulates timing.
 func NewAnalyticEngine(v Variant) *Engine { return &Engine{V: v, Analytic: true} }
 
-// Forward runs forward NTTs over the batch on the given queues
-// (len(qs) > 1 = explicit multi-tile submission) and returns the final
-// events.
+// Forward runs forward NTTs over a contiguous batch on the given
+// queues (len(qs) > 1 = explicit multi-tile submission) and returns
+// the final events. data uses the flat layout documented on Engine;
+// ForwardView accepts non-contiguous batches.
 func (e *Engine) Forward(qs []*sycl.Queue, data []uint64, polys int, tbls []*Tables, deps ...gpu.Event) []gpu.Event {
-	return e.run(qs, data, polys, tbls, true, deps)
+	return e.run(qs, e.view(data, polys, tbls), tbls, true, deps)
 }
 
-// Inverse runs inverse NTTs over the batch (including the n^{-1}
-// scaling and final reduction).
+// Inverse runs inverse NTTs over a contiguous batch (including the
+// n^{-1} scaling and final reduction). InverseView accepts
+// non-contiguous batches.
 func (e *Engine) Inverse(qs []*sycl.Queue, data []uint64, polys int, tbls []*Tables, deps ...gpu.Event) []gpu.Event {
-	return e.run(qs, data, polys, tbls, false, deps)
+	return e.run(qs, e.view(data, polys, tbls), tbls, false, deps)
+}
+
+// ForwardView runs forward NTTs over an arbitrary BatchView — rows
+// gathered from any number of device buffers — as the same single
+// kernel sequence a contiguous batch of equal shape would launch.
+// This is the cross-job fusion entry point: one launch per transform
+// round covers every row, paying the kernel launch and submission
+// overhead once for the whole view instead of once per job.
+func (e *Engine) ForwardView(qs []*sycl.Queue, view *BatchView, tbls []*Tables, deps ...gpu.Event) []gpu.Event {
+	return e.run(qs, view, tbls, true, deps)
+}
+
+// InverseView runs inverse NTTs (with n^{-1} scaling and final
+// reduction) over an arbitrary BatchView; see ForwardView.
+func (e *Engine) InverseView(qs []*sycl.Queue, view *BatchView, tbls []*Tables, deps ...gpu.Event) []gpu.Event {
+	return e.run(qs, view, tbls, false, deps)
+}
+
+// view wraps the classic contiguous layout as a BatchView (shape-only
+// under Analytic, where data may be nil). Empty batches yield a nil
+// view, which every entry point treats as a no-op.
+func (e *Engine) view(data []uint64, polys int, tbls []*Tables) *BatchView {
+	if len(tbls) == 0 || polys == 0 {
+		return nil
+	}
+	if e.Analytic {
+		data = nil
+	}
+	return ContiguousView(data, polys, len(tbls), tbls[0].N)
 }
 
 // round describes one scheduled kernel phase.
@@ -221,19 +257,30 @@ func (e *Engine) schedule(n int, forward bool) []round {
 	return append(plan(slmStages, false), plan(globalStages, true)...)
 }
 
-// BuildKernels constructs the kernel sequence of one batched transform
-// without launching it, so harnesses can inspect or price the plan.
+// BuildKernels constructs the kernel sequence of one contiguous
+// batched transform without launching it, so harnesses can inspect or
+// price the plan. BuildKernelsView is the non-contiguous equivalent.
 func (e *Engine) BuildKernels(data []uint64, polys int, tbls []*Tables, forward bool) []*sycl.Kernel {
 	if len(tbls) == 0 || polys == 0 {
 		return nil
 	}
+	return e.BuildKernelsView(e.view(data, polys, tbls), tbls, forward)
+}
+
+// BuildKernelsView constructs the kernel sequence of one batched
+// transform over an arbitrary BatchView without launching it. The
+// plan — and hence the analytic cost per row — is identical to a
+// contiguous batch of the same shape; only the row addressing differs.
+func (e *Engine) BuildKernelsView(view *BatchView, tbls []*Tables, forward bool) []*sycl.Kernel {
+	if len(tbls) == 0 || view == nil || view.polys == 0 {
+		return nil
+	}
 	n := tbls[0].N
-	qCount := len(tbls)
-	if !e.Analytic && len(data) < polys*qCount*n {
-		panic("ntt: data slice too short for batch")
+	if !e.Analytic {
+		view.check(tbls)
 	}
 	if e.V == NaiveRadix2 {
-		return e.buildNaive(data, polys, tbls, forward)
+		return e.buildNaive(view, tbls, forward)
 	}
 
 	rounds := e.schedule(n, forward)
@@ -245,7 +292,7 @@ func (e *Engine) BuildKernels(data []uint64, polys int, tbls []*Tables, forward 
 	// Group consecutive SLM rounds into a single kernel.
 	for i := 0; i < len(rounds); {
 		if rounds[i].global {
-			kernels = append(kernels, e.globalRoundKernel(data, polys, tbls, rounds[i].w, stage, forward))
+			kernels = append(kernels, e.globalRoundKernel(view, tbls, rounds[i].w, stage, forward))
 			if forward {
 				stage += rounds[i].w
 			} else {
@@ -260,7 +307,7 @@ func (e *Engine) BuildKernels(data []uint64, polys int, tbls []*Tables, forward 
 			ws = append(ws, rounds[j].w)
 			j++
 		}
-		kernels = append(kernels, e.slmKernel(data, polys, tbls, ws, stage, forward))
+		kernels = append(kernels, e.slmKernel(view, tbls, ws, stage, forward))
 		for _, w := range ws {
 			if forward {
 				stage += w
@@ -288,9 +335,9 @@ func (e *Engine) NominalOps(spec *gpu.DeviceSpec, polys int, tbls []*Tables, for
 }
 
 // run schedules and launches the kernels of one batched transform.
-func (e *Engine) run(qs []*sycl.Queue, data []uint64, polys int, tbls []*Tables, forward bool, deps []gpu.Event) []gpu.Event {
+func (e *Engine) run(qs []*sycl.Queue, view *BatchView, tbls []*Tables, forward bool, deps []gpu.Event) []gpu.Event {
 	evs := deps
-	for _, k := range e.BuildKernels(data, polys, tbls, forward) {
+	for _, k := range e.BuildKernelsView(view, tbls, forward) {
 		evs = launch(qs, k, evs)
 	}
 	return evs

@@ -80,12 +80,6 @@ func applyInvRadixRound(view []uint64, tbl *Tables, m, t, w, spanBase int) {
 	}
 }
 
-// sliceOf returns the (p, q) slice of the batch.
-func sliceOf(data []uint64, p, q, qCount, n int) []uint64 {
-	off := (p*qCount + q) * n
-	return data[off : off+n]
-}
-
 // finalizeForward reduces lazy values to [0, p) (last round processing).
 func finalizeForward(x []uint64, p uint64) {
 	for i := range x {
@@ -108,21 +102,22 @@ func finalizeInverse(x []uint64, t *Tables) {
 // globalRoundKernel builds the kernel of one radix-2^w round exchanged
 // through global memory. finalize fuses the last-round processing (only
 // used when a global round is the final inverse round).
-func (e *Engine) globalRoundKernel(data []uint64, polys int, tbls []*Tables, w, stage int, forward bool) *sycl.Kernel {
+func (e *Engine) globalRoundKernel(view *BatchView, tbls []*Tables, w, stage int, forward bool) *sycl.Kernel {
 	n := tbls[0].N
 	qCount := len(tbls)
+	polys := view.polys
 	r := 1 << w
 	isLast := !forward && stage-w == 0
 
 	body := func(g *gpu.GroupCtx) {
-		view := sliceOf(data, g.P, g.Q, qCount, n)
+		row := view.Row(g.P, g.Q)
 		tbl := tbls[g.Q]
 		if forward {
-			applyRadixRound(view, tbl, 1<<stage, n>>(stage+1), w, 0)
+			applyRadixRound(row, tbl, 1<<stage, n>>(stage+1), w, 0)
 		} else {
-			applyInvRadixRound(view, tbl, 1<<stage, n>>stage, w, 0)
+			applyInvRadixRound(row, tbl, 1<<stage, n>>stage, w, 0)
 			if isLast {
-				finalizeInverse(view, tbl)
+				finalizeInverse(row, tbl)
 			}
 		}
 	}
@@ -153,9 +148,10 @@ func (e *Engine) globalRoundKernel(data []uint64, polys int, tbls []*Tables, w, 
 // slmKernel builds the single kernel that runs all SLM-resident rounds
 // (ws) of the transform, with SIMD-shuffle stages and last-round
 // processing fused as in Fig. 8.
-func (e *Engine) slmKernel(data []uint64, polys int, tbls []*Tables, ws []int, stage int, forward bool) *sycl.Kernel {
+func (e *Engine) slmKernel(view *BatchView, tbls []*Tables, ws []int, stage int, forward bool) *sycl.Kernel {
 	n := tbls[0].N
 	qCount := len(tbls)
+	polys := view.polys
 	groupElems := slmGroupElems
 	if n < groupElems {
 		groupElems = n
@@ -164,7 +160,7 @@ func (e *Engine) slmKernel(data []uint64, polys int, tbls []*Tables, ws []int, s
 
 	body := func(g *gpu.GroupCtx) {
 		tbl := tbls[g.Q]
-		slice := sliceOf(data, g.P, g.Q, qCount, n)
+		slice := view.Row(g.P, g.Q)
 		g0 := g.Group * groupElems
 		slm := g.SLM[:groupElems]
 		copy(slm, slice[g0:g0+groupElems])
@@ -274,20 +270,21 @@ func (e *Engine) slmKernel(data []uint64, polys int, tbls []*Tables, ws []int, s
 
 // buildNaive builds one kernel per stage plus the last-round
 // processing kernel — the Fig. 6 baseline.
-func (e *Engine) buildNaive(data []uint64, polys int, tbls []*Tables, forward bool) []*sycl.Kernel {
+func (e *Engine) buildNaive(view *BatchView, tbls []*Tables, forward bool) []*sycl.Kernel {
 	n := tbls[0].N
 	qCount := len(tbls)
+	polys := view.polys
 	logN := countStages(n)
 	var kernels []*sycl.Kernel
 
 	mkStage := func(stage int) *sycl.Kernel {
 		body := func(g *gpu.GroupCtx) {
-			view := sliceOf(data, g.P, g.Q, qCount, n)
+			row := view.Row(g.P, g.Q)
 			tbl := tbls[g.Q]
 			if forward {
-				applyRadixRound(view, tbl, 1<<stage, n>>(stage+1), 1, 0)
+				applyRadixRound(row, tbl, 1<<stage, n>>(stage+1), 1, 0)
 			} else {
-				applyInvRadixRound(view, tbl, 1<<stage, n>>stage, 1, 0)
+				applyInvRadixRound(row, tbl, 1<<stage, n>>stage, 1, 0)
 			}
 		}
 		if e.Analytic {
@@ -320,11 +317,11 @@ func (e *Engine) buildNaive(data []uint64, polys int, tbls []*Tables, forward bo
 	// Last round processing as its own kernel (not fused in the naive
 	// implementation — the 2N extra accesses of Section III-B.1).
 	final := func(g *gpu.GroupCtx) {
-		view := sliceOf(data, g.P, g.Q, qCount, n)
+		row := view.Row(g.P, g.Q)
 		if forward {
-			finalizeForward(view, tbls[g.Q].Modulus.Value)
+			finalizeForward(row, tbls[g.Q].Modulus.Value)
 		} else {
-			finalizeInverse(view, tbls[g.Q])
+			finalizeInverse(row, tbls[g.Q])
 		}
 	}
 	if e.Analytic {

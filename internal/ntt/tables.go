@@ -14,6 +14,14 @@
 // All GPU variants execute real arithmetic through the simulator's
 // functional layer and are bit-exact against the reference; their
 // analytic profiles use the per-round ALU op counts of Table I.
+//
+// Every variant runs as Engine batches of polys × moduli independent
+// transforms sharing one kernel schedule. A batch is addressed either
+// as one contiguous allocation (Forward/Inverse) or through a
+// BatchView (ForwardView/InverseView) whose rows may live in arbitrary
+// device buffers — the cross-job kernel fusion path, which lets the
+// concurrent scheduler drive the NTTs of a whole coalesced job batch
+// as single wider launches (see ARCHITECTURE.md at the repo root).
 package ntt
 
 import "xehe/internal/xmath"

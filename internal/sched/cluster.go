@@ -444,6 +444,9 @@ func (c *Cluster) Stats() ClusterStats {
 		cs.Failed += st.Failed
 		cs.Batches += st.Batches
 		cs.Coalesced += st.Coalesced
+		cs.FusedBatches += st.FusedBatches
+		cs.FusedSteps += st.FusedSteps
+		cs.UnfusedSteps += st.UnfusedSteps
 		cs.StolenIn += st.StolenIn
 		cs.StolenOut += st.StolenOut
 		cs.CacheHits += st.CacheHits
@@ -459,6 +462,11 @@ func (c *Cluster) Stats() ClusterStats {
 			cs.PerClass[k].Failed += pc.Failed
 			cs.PerClass[k].DeadlineHit += pc.DeadlineHit
 			cs.PerClass[k].DeadlineMiss += pc.DeadlineMiss
+			cs.PerClass[k].Batches += pc.Batches
+			cs.PerClass[k].Coalesced += pc.Coalesced
+			if pc.MaxBatch > cs.PerClass[k].MaxBatch {
+				cs.PerClass[k].MaxBatch = pc.MaxBatch
+			}
 		}
 		for k, lat := range sh.sched.classLatencies() {
 			merged[k] = append(merged[k], lat...)

@@ -1,0 +1,116 @@
+package sched
+
+// Cross-job kernel fusion: the step-at-a-time batch executor behind
+// Config.FuseKernels. A coalesced batch holds k jobs with identical
+// shape keys — same input levels and op chains, hence identical kernel
+// launch sequences — so instead of walking each job's chain alone
+// (k separate launches per step), the worker walks the shared chain
+// once and drives every step as one widened launch over all k jobs'
+// polynomials (internal/core's *Batch methods over ntt.BatchView
+// gathers). The per-element arithmetic is unchanged, so fused results
+// are bit-for-bit identical to the job-at-a-time path; the win is
+// paying kernel launch, host submission and multi-queue overhead once
+// per step per batch.
+
+import (
+	"fmt"
+
+	"xehe/internal/ckks"
+	"xehe/internal/core"
+)
+
+// evalChainFused uploads every job's inputs and submits the batch's
+// shared op chain step-at-a-time, each step as one fused launch
+// sequence across all jobs, without host synchronization. It returns
+// the per-job device value lists (inputs + intermediates; the last
+// entry is each job's result). On panic every allocation made so far
+// is recycled and an error describing the failing step is returned —
+// per-job attribution is impossible mid-fusion, so the caller falls
+// back to the job-at-a-time path to isolate the offender.
+func evalChainFused(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, jobs []*Job) (vals [][]*core.Ciphertext, err error) {
+	stage := -1 // -1 = uploading inputs; >= 0 = op index being evaluated
+	defer func() {
+		if r := recover(); r != nil {
+			for _, vs := range vals {
+				for _, v := range vs {
+					if v != nil {
+						c.Free(v)
+					}
+				}
+			}
+			vals = nil
+			if stage < 0 {
+				err = fmt.Errorf("sched: fused batch input upload panicked: %v", r)
+			} else {
+				err = fmt.Errorf("sched: fused batch op %d (%v) panicked: %v", stage, jobs[0].Ops[stage].Code, r)
+			}
+		}
+	}()
+	k := len(jobs)
+	vals = make([][]*core.Ciphertext, k)
+	for j, job := range jobs {
+		for _, in := range job.Inputs {
+			vals[j] = append(vals[j], c.Upload(in))
+		}
+	}
+	// Same shape key == same op chain; job 0's chain drives the batch.
+	gather := func(idx int) []*core.Ciphertext {
+		cts := make([]*core.Ciphertext, k)
+		for j := range cts {
+			cts[j] = vals[j][idx]
+		}
+		return cts
+	}
+	for i, op := range jobs[0].Ops {
+		stage = i
+		var rs []*core.Ciphertext
+		switch op.Code {
+		case OpAdd:
+			rs = c.AddBatch(gather(op.A), gather(op.B))
+		case OpMulRelin:
+			rs = c.MulLinBatch(gather(op.A), gather(op.B), rlk)
+		case OpMulRelinRescale:
+			rs = c.MulLinRSBatch(gather(op.A), gather(op.B), rlk)
+		case OpSquareRelinRescale:
+			rs = c.SqrLinRSBatch(gather(op.A), rlk)
+		case OpRotate:
+			gk, ok := gks[op.K]
+			if !ok {
+				panic(fmt.Sprintf("no Galois key for rotation %d", op.K))
+			}
+			rs = c.RotateBatch(gather(op.A), op.K, gk)
+		case OpModSwitch:
+			rs = c.ModSwitchBatch(gather(op.A))
+		}
+		for j := range vals {
+			vals[j] = append(vals[j], rs[j])
+		}
+	}
+	return vals, nil
+}
+
+// stageFused stages a coalesced batch through the fused executor. On
+// any fused-step error it falls back to staging each job alone — the
+// unfused path re-runs the chain per job, restoring exact per-job
+// error attribution (only the offending jobs fail) at the cost of the
+// fusion win for this batch. It reports whether the fused path was
+// actually used.
+func (w *worker) stageFused(s *Scheduler, batch []*task) ([]*staged, bool) {
+	jobs := make([]*Job, len(batch))
+	for i, t := range batch {
+		jobs[i] = t.job
+	}
+	vals, err := evalChainFused(w.ctx, s.rlk, s.gks, jobs)
+	if err != nil {
+		out := make([]*staged, len(batch))
+		for i, t := range batch {
+			out[i] = w.stage(s, t)
+		}
+		return out, false
+	}
+	out := make([]*staged, len(batch))
+	for i, t := range batch {
+		out[i] = &staged{t: t, vals: vals[i]}
+	}
+	return out, true
+}

@@ -33,6 +33,15 @@
 //     batch, so the host stalls only in the download phase at the
 //     batch tail (each download still pays its own sync there)
 //     instead of blocking between jobs.
+//   - With Config.FuseKernels, coalesced batches additionally fuse
+//     their kernel launches: the worker walks the batch's shared op
+//     chain step-at-a-time and issues each step as one widened launch
+//     over every job's polynomials (an ntt.BatchView per NTT
+//     sequence, one jobs × components × N elementwise kernel
+//     otherwise), so launch and submission overhead is paid once per
+//     step per batch instead of once per job. Results are bit-for-bit
+//     identical either way; Stats counts fused vs unfused steps and
+//     per-class coalescing effectiveness.
 //   - Queues are bounded per class (admission control): a class with
 //     a full queue share blocks Submit (backpressure), while a class
 //     with a partial share sheds over-limit jobs with ErrOverloaded —

@@ -37,6 +37,16 @@ type Config struct {
 	// MaxBatch caps how many same-shape jobs are coalesced into one
 	// batch. Default 8; 1 disables batching.
 	MaxBatch int
+	// FuseKernels switches the workers from job-at-a-time to
+	// step-at-a-time batch execution: every op-chain step of a
+	// coalesced batch gathers the jobs' polynomials into one widened
+	// kernel launch (one ntt.BatchView sequence per NTT, one fused
+	// elementwise kernel otherwise), paying kernel launch and host
+	// submission overhead once per step per batch instead of once per
+	// job. Results are bit-for-bit identical to the unfused path
+	// (pinned by the differential harness); only simulated timing and
+	// launch counts change. Default off.
+	FuseKernels bool
 	// PendingCap bounds the dispatcher's pending queue — the jobs
 	// accepted but not yet shipped to a worker, i.e. the pool the QoS
 	// policy reorders. Class admission shares are fractions of this
@@ -98,6 +108,15 @@ type ClassStats struct {
 	Failed                    int64 // jobs that finished with an error
 	Rejected                  int64 // jobs shed with ErrOverloaded
 	DeadlineHit, DeadlineMiss int64 // jobs with a deadline, by outcome
+	// Batches, MaxBatch and Coalesced break the coalescing counters
+	// down per class (batches are formed from a single class's queue,
+	// so every batch is attributable): Batches counts batches whose
+	// jobs were of this class, MaxBatch is the largest such batch, and
+	// Coalesced counts the class's jobs that ran in a batch of size
+	// >= 2 — the jobs eligible for the cross-job fusion win.
+	Batches   int64
+	MaxBatch  int
+	Coalesced int64
 	// P50/P99 are simulated-latency quantiles (seconds from
 	// submission to completion on the backend clock) over the
 	// completed jobs of the class; 0 when none completed.
@@ -106,11 +125,22 @@ type ClassStats struct {
 
 // Stats is a snapshot of scheduler counters.
 type Stats struct {
-	Jobs                   int64 // jobs completed (including failed ones)
-	Failed                 int64 // jobs that finished with an error
-	Batches                int64 // batches executed
-	MaxBatch               int   // largest batch observed
-	Coalesced              int64 // jobs that ran in a batch of size >= 2
+	Jobs      int64 // jobs completed (including failed ones)
+	Failed    int64 // jobs that finished with an error
+	Batches   int64 // batches executed
+	MaxBatch  int   // largest batch observed
+	Coalesced int64 // jobs that ran in a batch of size >= 2
+	// FusedBatches counts batches executed through the fused
+	// step-at-a-time path (Config.FuseKernels, batch size >= 2);
+	// FusedSteps counts their op-chain steps — each one widened
+	// kernel-launch sequence covering the whole batch — while
+	// UnfusedSteps counts steps executed job-at-a-time (fusion off,
+	// singleton batches, and fused batches that fell back after an
+	// execution error). FusedSteps/(FusedSteps+UnfusedSteps) is the
+	// fraction of steps that paid launch overhead once per batch.
+	FusedBatches           int64
+	FusedSteps             int64
+	UnfusedSteps           int64
 	PerWorker              []int64
 	PerClass               []ClassStats
 	StolenIn, StolenOut    int64 // jobs migrated in/out by work stealing
@@ -796,6 +826,12 @@ type staged struct {
 // between jobs mid-batch — the synchronizing downloads are deferred
 // to the batch tail, where the first wait absorbs most of the stall
 // and the rest find their events already complete.
+//
+// With Config.FuseKernels on, coalesced batches (size >= 2) stage
+// through the fused step-at-a-time executor instead: one widened
+// kernel launch sequence per op-chain step for the whole batch (see
+// fusion.go). Singleton batches always take the job-at-a-time path —
+// there is nothing to fuse across.
 func (s *Scheduler) runWorker(w *worker) {
 	defer s.workWg.Done()
 	for batch := range w.ch {
@@ -803,11 +839,18 @@ func (s *Scheduler) runWorker(w *worker) {
 		s.wake(s.freec)
 		// Record batch stats up front: jobDone on the batch's last job
 		// releases Drain, and Stats() must already see this batch then.
-		s.batchStarted(len(batch))
-		stagedJobs := make([]*staged, len(batch))
-		for i, t := range batch {
-			stagedJobs[i] = w.stage(s, t)
+		s.batchStarted(batch[0].class, len(batch))
+		var stagedJobs []*staged
+		fused := false
+		if s.cfg.FuseKernels && len(batch) >= 2 {
+			stagedJobs, fused = w.stageFused(s, batch)
+		} else {
+			stagedJobs = make([]*staged, len(batch))
+			for i, t := range batch {
+				stagedJobs[i] = w.stage(s, t)
+			}
 		}
+		s.stepsDone(batch, fused)
 		for _, sj := range stagedJobs {
 			w.finish(sj)
 			sj.t.fut.err = sj.err
@@ -816,6 +859,20 @@ func (s *Scheduler) runWorker(w *worker) {
 			s.jobDone(w, sj.t, sj.err != nil, len(batch))
 		}
 	}
+}
+
+// stepsDone accounts the batch's op-chain steps as fused (one widened
+// launch sequence per step) or unfused (one per step per job).
+func (s *Scheduler) stepsDone(batch []*task, fused bool) {
+	steps := int64(len(batch[0].job.Ops))
+	s.statMu.Lock()
+	if fused {
+		s.stats.FusedBatches++
+		s.stats.FusedSteps += steps
+	} else {
+		s.stats.UnfusedSteps += steps * int64(len(batch))
+	}
+	s.statMu.Unlock()
 }
 
 // evalChain uploads a job's inputs and submits its whole op chain on
@@ -925,6 +982,7 @@ func (s *Scheduler) jobDone(w *worker, t *task, failed bool, batchLen int) {
 	s.latency[t.class].add(lat)
 	if batchLen >= 2 {
 		s.stats.Coalesced++
+		cs.Coalesced++
 	}
 	s.stats.PerWorker[w.id]++
 	s.statMu.Unlock()
@@ -937,11 +995,19 @@ func (s *Scheduler) jobDone(w *worker, t *task, failed bool, batchLen int) {
 	s.outMu.Unlock()
 }
 
-func (s *Scheduler) batchStarted(n int) {
+// batchStarted records a dispatched batch globally and against the
+// class that formed it (batches are popped from a single class's
+// queue, so the attribution is exact).
+func (s *Scheduler) batchStarted(class, n int) {
 	s.statMu.Lock()
 	s.stats.Batches++
 	if n > s.stats.MaxBatch {
 		s.stats.MaxBatch = n
+	}
+	cs := &s.classStat[class]
+	cs.Batches++
+	if n > cs.MaxBatch {
+		cs.MaxBatch = n
 	}
 	s.statMu.Unlock()
 }

@@ -88,16 +88,36 @@
 //	fut, err := cl.Submit(job) // routed to whichever shard is least loaded
 //	ct, err := fut.Wait()
 //
+// # Cross-job kernel fusion
+//
+// Coalesced same-shape batches can additionally fuse their kernel
+// launches: with ServiceConfig.FuseKernels (or ClusterConfig's) set,
+// workers execute a batch step-at-a-time, gathering the k jobs'
+// polynomials at every op-chain step into one widened kernel launch —
+// one batched NTT view, one fused elementwise kernel — so launch and
+// submission overhead is paid once per step per batch instead of once
+// per job. Results are bit-for-bit identical to the unfused path; on
+// the standard benchmark stream simulated throughput roughly doubles
+// at MaxBatch >= 4 (see `make bench-fusion`):
+//
+//	svc := xehe.NewService(params, kit, xehe.Device1,
+//		xehe.ServiceConfig{Workers: 2, FuseKernels: true})
+//
 // The correctness of the concurrent and sharded paths is pinned by a
 // differential harness (internal/sched): randomized job chains must
 // reproduce the serial single-queue pipeline bit-for-bit — regardless
-// of which shard executed them — and decrypt to the plaintext model
-// within CKKS noise. Run it race-enabled with
+// of which shard executed them, coalesced or fused — and decrypt to
+// the plaintext model within CKKS noise. Run it race-enabled with
 //
 //	go test -race ./internal/sched/...
 //
 // (or `make test-race`, which also covers the memory cache and the
 // GPU simulator).
+//
+// ARCHITECTURE.md at the repository root maps the full layer stack
+// (xehe → sched → qos → core → ntt/poly → gpu/sycl), walks the life
+// of a job from Submit to Wait including coalescing and fusion, and
+// records where every configuration knob acts.
 package xehe
 
 import (
@@ -380,6 +400,15 @@ type ServiceConfig struct {
 	// MaxBatch caps how many same-shape jobs are coalesced into one
 	// batch; 1 disables batching. Default 8.
 	MaxBatch int
+	// FuseKernels executes coalesced batches step-at-a-time as fused
+	// cross-job kernels: every op-chain step gathers the batch's
+	// polynomials into one widened launch (one batched NTT view, one
+	// fused elementwise kernel), paying kernel launch and submission
+	// overhead once per step per batch instead of once per job.
+	// Results are bit-for-bit identical either way; only throughput
+	// and launch counts change (see ServiceStats.FusedSteps). Default
+	// off. See ARCHITECTURE.md for the fusion data path.
+	FuseKernels bool
 	// PendingCap bounds the pending queue (jobs accepted but not yet
 	// dispatched — the pool the QoS policy reorders); class admission
 	// shares are fractions of it. Default Workers*QueueDepth*MaxBatch.
@@ -418,6 +447,7 @@ func (sc ServiceConfig) schedConfig() sched.Config {
 		Workers:     sc.Workers,
 		QueueDepth:  sc.QueueDepth,
 		MaxBatch:    sc.MaxBatch,
+		FuseKernels: sc.FuseKernels,
 		PendingCap:  sc.PendingCap,
 		Classes:     sc.Classes,
 		Policy:      sc.Policy,
