@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-record clean
+.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-record clean
 
 all: build test
 
@@ -24,10 +24,11 @@ test: build
 
 # Race-enabled pass over every package that runs goroutines
 # concurrently: the batch scheduler's differential + QoS fairness +
-# work-stealing harnesses, the qos policy layer, the shared device
-# memory cache, and the GPU simulator's group runner.
+# work-stealing + transfer-pipeline harnesses, the qos policy layer,
+# the shared device memory cache + staging pool, the GPU simulator's
+# group runner, and the sycl copy-queue event ordering.
 test-race:
-	$(GO) test -race ./internal/sched/... ./internal/qos/... ./internal/memcache/... ./internal/gpu/...
+	$(GO) test -race ./internal/sched/... ./internal/qos/... ./internal/memcache/... ./internal/gpu/... ./internal/sycl/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
@@ -50,9 +51,17 @@ bench-fusion:
 	$(GO) test -bench 'BenchmarkServiceThroughput/workers=2' -benchtime 50x -run '^$$' .
 	$(GO) run ./cmd/xehe-bench -fusion 50 -json
 
+# Fused-transfer smoke: one low-N pass over the FuseTransfers off/on
+# sweep (kernels fused, MaxBatch 4/8) as JSON rows, so a regression
+# that erases the copy/compute-overlap win (or breaks the gathered
+# transfer counters in the -json contract) fails CI quickly.
+bench-transfer:
+	$(GO) run ./cmd/xehe-bench -transfer 50 -json
+
 # Record the bench trajectory: the standard 500-job cluster + mixed
-# QoS + fusion sweep, machine-readable, written to the repo root (CI
-# uploads it as an artifact so the trajectory is preserved per commit).
+# QoS + fusion + transfer sweep, machine-readable, written to the repo
+# root (CI uploads it as an artifact so the trajectory is preserved
+# per commit).
 bench-record:
 	$(GO) run ./cmd/xehe-bench -cluster 500 -json > BENCH_cluster.json
 	@wc -l BENCH_cluster.json

@@ -25,6 +25,15 @@ import (
 
 var benchAnchor = fhebench.NTTConfig{N: 32768, Instances: 1024}
 
+// benchToggle maps the benchmarks' boolean fused axis onto the knob
+// (fusion defaults on, so the off state must be explicit).
+func benchToggle(on bool) Toggle {
+	if on {
+		return ToggleOn
+	}
+	return ToggleOff
+}
+
 // BenchmarkTable1OpCounts regenerates Table I's per-round op counts.
 func BenchmarkTable1OpCounts(b *testing.B) {
 	for i := 0; i < b.N; i++ {
@@ -322,7 +331,7 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		for _, fused := range []bool{false, true} {
 			workers, fused := workers, fused
 			b.Run(fmt.Sprintf("workers=%d/fused=%v", workers, fused), func(b *testing.B) {
-				svc := NewService(params, kit, Device1, ServiceConfig{Workers: workers, FuseKernels: fused})
+				svc := NewService(params, kit, Device1, ServiceConfig{Workers: workers, FuseKernels: benchToggle(fused)})
 				defer svc.Close()
 				submit := func(n int) {
 					for i := 0; i < n; i++ {
@@ -383,7 +392,7 @@ func BenchmarkClusterThroughput(b *testing.B) {
 				for i := range kinds {
 					kinds[i] = Device1
 				}
-				cl := NewCluster(params, kit, kinds, ClusterConfig{WarmBuffers: 32, FuseKernels: fused})
+				cl := NewCluster(params, kit, kinds, ClusterConfig{WarmBuffers: 32, FuseKernels: benchToggle(fused)})
 				defer cl.Close()
 				submit := func(n int) {
 					for i := 0; i < n; i++ {

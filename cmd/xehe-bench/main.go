@@ -30,7 +30,8 @@ func main() {
 	service := flag.Int("service", 0, "run the concurrent-scheduler throughput sweep with this many jobs per worker count")
 	cluster := flag.Int("cluster", 0, "run the multi-device cluster throughput sweep with this many jobs per configuration")
 	fusion := flag.Int("fusion", 0, "run the fused-vs-unfused kernel fusion sweep with this many jobs per configuration")
-	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion results as machine-readable JSON instead of tables")
+	transfer := flag.Int("transfer", 0, "run the fused-transfer (copy/compute overlap) sweep with this many jobs per configuration")
+	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion/-transfer results as machine-readable JSON instead of tables")
 	flag.Parse()
 
 	if *service > 0 {
@@ -43,6 +44,12 @@ func main() {
 	}
 	if *fusion > 0 {
 		if results := fusionSweep(*fusion, *jsonOut); *jsonOut {
+			emitResults(results)
+		}
+		return
+	}
+	if *transfer > 0 {
+		if results := transferSweep(*transfer, *jsonOut); *jsonOut {
 			emitResults(results)
 		}
 		return
@@ -118,14 +125,19 @@ type throughputResult struct {
 	FusedBatches  int64   `json:"fused_batches,omitempty"` // batches run through the fused path
 	FusedSteps    int64   `json:"fused_steps,omitempty"`   // op-chain steps launched once per batch
 	UnfusedSteps  int64   `json:"unfused_steps,omitempty"` // op-chain steps launched once per job
-	Routed        []int64 `json:"routed,omitempty"`        // per-shard job counts (cluster only)
-	Stolen        []int64 `json:"stolen,omitempty"`        // per-shard stolen-job counts (cluster only)
-	Class         string  `json:"class,omitempty"`         // per-class rows of the mixed sweep
-	P50Ms         float64 `json:"p50_sim_ms,omitempty"`
-	P99Ms         float64 `json:"p99_sim_ms,omitempty"`
-	DeadlineHit   int64   `json:"deadline_hit,omitempty"`
-	DeadlineMiss  int64   `json:"deadline_miss,omitempty"`
-	Rejected      int64   `json:"rejected,omitempty"`
+	// Transfer-path counters (the -transfer sweep): gathered staging
+	// submissions and the bytes they moved each way.
+	TransferBatches int64   `json:"transfer_batches,omitempty"`
+	BytesH2D        int64   `json:"bytes_h2d,omitempty"`
+	BytesD2H        int64   `json:"bytes_d2h,omitempty"`
+	Routed          []int64 `json:"routed,omitempty"` // per-shard job counts (cluster only)
+	Stolen          []int64 `json:"stolen,omitempty"` // per-shard stolen-job counts (cluster only)
+	Class           string  `json:"class,omitempty"`  // per-class rows of the mixed sweep
+	P50Ms           float64 `json:"p50_sim_ms,omitempty"`
+	P99Ms           float64 `json:"p99_sim_ms,omitempty"`
+	DeadlineHit     int64   `json:"deadline_hit,omitempty"`
+	DeadlineMiss    int64   `json:"deadline_miss,omitempty"`
+	Rejected        int64   `json:"rejected,omitempty"`
 }
 
 func emitResults(results []throughputResult) {
@@ -277,9 +289,19 @@ func clusterThroughput(jobs int, jsonOut bool) {
 	}
 	results = append(results, mixedWorkload(jobs, jsonOut)...)
 	results = append(results, fusionSweep(jobs, jsonOut)...)
+	results = append(results, transferSweep(jobs, jsonOut)...)
 	if jsonOut {
 		emitResults(results)
 	}
+}
+
+// toggleOf maps a sweep's boolean axis onto the config knob, keeping
+// the off state explicit now that fusion defaults on.
+func toggleOf(on bool) xehe.Toggle {
+	if on {
+		return xehe.ToggleOn
+	}
+	return xehe.ToggleOff
 }
 
 // fusionSweep is the cross-job kernel fusion sweep: the standard
@@ -308,7 +330,8 @@ func fusionSweep(jobs int, jsonOut bool) []throughputResult {
 		{"fused/mb=8", 8, true},
 	} {
 		cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device1},
-			xehe.ClusterConfig{WarmBuffers: 32, MaxBatch: cfg.maxBatch, FuseKernels: cfg.fuse})
+			xehe.ClusterConfig{WarmBuffers: 32, MaxBatch: cfg.maxBatch,
+				FuseKernels: toggleOf(cfg.fuse), FuseTransfers: xehe.ToggleOff})
 		submit := func(n int) {
 			for i := 0; i < n; i++ {
 				if _, err := cl.Submit(buildJob(cta, ctb)); err != nil {
@@ -341,6 +364,76 @@ func fusionSweep(jobs int, jsonOut bool) []throughputResult {
 		if !jsonOut {
 			fmt.Printf("%-16s %8d %12.1f %14.0f %10d %10d %12d %14d\n",
 				r.Config, r.Devices, r.JobsPerSec, r.SimJobsPerSec, r.Batches, r.Coalesced, r.FusedSteps, r.UnfusedSteps)
+		}
+		cl.Close()
+	}
+	return results
+}
+
+// transferSweep is the fused-transfer sweep: the standard
+// MulRelinRS+Rotate stream runs through a 2x Device1 cluster with
+// kernel fusion on (the PR 4 fused baseline) and FuseTransfers off vs
+// on, at MaxBatch 4 and 8. The acceptance contract: gathered staging
+// + copy/compute overlap beats the fused baseline at equal batch
+// shape (target >= 1.2x sim-jobs/s at MaxBatch 8), with results
+// bit-identical either way and the gathered submissions visible in
+// TransferBatches/BytesH2D/BytesD2H.
+func transferSweep(jobs int, jsonOut bool) []throughputResult {
+	params, kit, cta, ctb := benchInputs()
+	var results []throughputResult
+	if !jsonOut {
+		fmt.Printf("\nfused transfer sweep (%d jobs, MulRelinRS + Rotate at N=4096 L=4, kernels fused, on 2x Device1)\n\n", jobs)
+		fmt.Printf("%-16s %8s %12s %14s %10s %12s %12s %12s\n",
+			"config", "devices", "jobs/sec", "sim-jobs/sec", "batches", "xfer-batches", "MB-h2d", "MB-d2h")
+	}
+	for _, cfg := range []struct {
+		name     string
+		maxBatch int
+		overlap  bool
+	}{
+		{"base/mb=4", 4, false},
+		{"overlap/mb=4", 4, true},
+		{"base/mb=8", 8, false},
+		{"overlap/mb=8", 8, true},
+	} {
+		cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device1},
+			xehe.ClusterConfig{WarmBuffers: 32, MaxBatch: cfg.maxBatch,
+				FuseKernels: xehe.ToggleOn, FuseTransfers: toggleOf(cfg.overlap)})
+		submit := func(n int) {
+			for i := 0; i < n; i++ {
+				if _, err := cl.Submit(buildJob(cta, ctb)); err != nil {
+					fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		submit(16)
+		cl.Wait()
+		cl.ResetSimClocks()
+		warm := cl.Stats()
+		start := time.Now()
+		submit(jobs)
+		cl.Wait()
+		wall := time.Since(start).Seconds()
+		st := cl.Stats()
+		r := throughputResult{
+			Bench: "transfer", Config: cfg.name, Devices: 2, Jobs: jobs,
+			JobsPerSec:      float64(jobs) / wall,
+			SimJobsPerSec:   float64(jobs) / cl.SimulatedSeconds(),
+			Batches:         st.Batches - warm.Batches,
+			Coalesced:       st.Coalesced - warm.Coalesced,
+			MaxBatch:        st.MaxBatch,
+			FusedSteps:      st.FusedSteps - warm.FusedSteps,
+			UnfusedSteps:    st.UnfusedSteps - warm.UnfusedSteps,
+			TransferBatches: st.TransferBatches - warm.TransferBatches,
+			BytesH2D:        st.BytesH2D - warm.BytesH2D,
+			BytesD2H:        st.BytesD2H - warm.BytesD2H,
+		}
+		results = append(results, r)
+		if !jsonOut {
+			fmt.Printf("%-16s %8d %12.1f %14.0f %10d %12d %12.1f %12.1f\n",
+				r.Config, r.Devices, r.JobsPerSec, r.SimJobsPerSec, r.Batches,
+				r.TransferBatches, float64(r.BytesH2D)/1e6, float64(r.BytesD2H)/1e6)
 		}
 		cl.Close()
 	}

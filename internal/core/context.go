@@ -38,6 +38,14 @@ type Config struct {
 	Blocking bool
 	// Analytic skips functional kernel bodies (paper-scale sweeps).
 	Analytic bool
+	// CopyEngine routes host<->device transfers through a dedicated
+	// per-tile copy queue when the device models one
+	// (gpu.DeviceSpec.CopyEngine), so uploads and downloads overlap
+	// with compute instead of serializing on the kernel queue. The
+	// concurrent scheduler enables it for its FuseTransfers pipeline;
+	// results are bit-identical either way, only simulated timing
+	// changes.
+	CopyEngine bool
 }
 
 // Naive returns the unoptimized baseline configuration.
@@ -73,6 +81,15 @@ type Context struct {
 	Engine *ntt.Engine
 	Cfg    Config
 
+	// CopyQ is the dedicated transfer queue (Cfg.CopyEngine): gathered
+	// uploads/downloads submitted here land on the tile's copy-engine
+	// timeline and overlap with compute. nil routes transfers through
+	// Queues[0] as before.
+	CopyQ *sycl.Queue
+	// Staging is the (shared) pinned-staging pool backing gathered
+	// transfers; nil allocates transient staging per transfer.
+	Staging *memcache.StagingPool
+
 	deps []gpu.Event // pending pipeline tail (in-order semantics)
 }
 
@@ -100,7 +117,7 @@ func NewContext(params *ckks.Parameters, dev *gpu.Device, cfg Config) *Context {
 // cache is safe for concurrent use, and per-worker queues keep the
 // in-order pipeline state (deps) private to one goroutine.
 func NewContextOn(params *ckks.Parameters, dev *gpu.Device, cfg Config, queues []*sycl.Queue, cache *memcache.Cache) *Context {
-	return &Context{
+	c := &Context{
 		Params: params,
 		Device: dev,
 		Queues: queues,
@@ -108,6 +125,10 @@ func NewContextOn(params *ckks.Parameters, dev *gpu.Device, cfg Config, queues [
 		Engine: &ntt.Engine{V: cfg.NTT, Analytic: cfg.Analytic},
 		Cfg:    cfg,
 	}
+	if cfg.CopyEngine {
+		c.CopyQ = sycl.NewCopyQueueOnTile(dev, queues[0].Raw().Tile())
+	}
+	return c
 }
 
 // Wait drains the pipeline (host-device synchronization). The
@@ -122,6 +143,16 @@ func (c *Context) Wait() {
 
 // after records the pipeline tail.
 func (c *Context) after(evs []gpu.Event) { c.deps = evs }
+
+// PipelineAfter resets the context's in-order pipeline tail to the
+// given events. The scheduler's double-buffered worker uses it to
+// interleave the next batch's gathered upload (whose submission
+// overwrites the tail) with the current batch's compute: it stashes
+// each batch's upload event and restores it here before staging that
+// batch's kernels, so every chain depends on its own inputs' copy.
+func (c *Context) PipelineAfter(evs ...gpu.Event) {
+	c.deps = append([]gpu.Event(nil), evs...)
+}
 
 // allocPoly obtains a device-backed polynomial through the memory
 // cache (or the raw driver when the cache is disabled).
@@ -163,6 +194,20 @@ func (c *Context) Upload(ct *ckks.Ciphertext) *Ciphertext {
 // Download synchronizes and copies a device ciphertext back to host
 // memory (the only blocking step of the pipeline).
 func (c *Context) Download(ct *Ciphertext) *ckks.Ciphertext {
+	out, last := c.DownloadAsync(ct)
+	last.Wait()
+	c.deps = nil
+	return out
+}
+
+// DownloadAsync submits the device-to-host copies of a ciphertext
+// without synchronizing: the host polynomials are materialized (the
+// simulator executes the memcpy functionally at submission) and the
+// tail copy event is returned for the caller to wait on. The batch
+// scheduler uses it to submit every result of a batch and pay the
+// host-device synchronization once at the tail instead of once per
+// job.
+func (c *Context) DownloadAsync(ct *Ciphertext) (*ckks.Ciphertext, gpu.Event) {
 	out := &ckks.Ciphertext{Scale: ct.CT.Scale, Level: ct.CT.Level}
 	var last gpu.Event
 	for i, pv := range ct.CT.Value {
@@ -175,9 +220,8 @@ func (c *Context) Download(ct *Ciphertext) *ckks.Ciphertext {
 		host.IsNTT = pv.IsNTT
 		out.Value = append(out.Value, host)
 	}
-	last.Wait()
-	c.deps = nil
-	return out
+	c.after([]gpu.Event{last})
+	return out, last
 }
 
 // Free returns the ciphertext's buffers to the cache.

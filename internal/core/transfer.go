@@ -1,0 +1,131 @@
+package core
+
+// Fused batch transfers: gathered host<->device staging for coalesced
+// job batches. The serial Upload/Download pay one memcpy submission
+// per ciphertext component; a coalesced batch of k jobs used to pay
+// k × components of them, all serialized on the compute queue. The
+// methods here move a whole batch in ONE staged submission — the rows
+// are gathered through a reusable pinned staging buffer
+// (memcache.StagingPool) and scattered into the per-job device buffers
+// (sycl.CopyInGather/CopyOutScatter) — and, when the context owns a
+// copy queue (Config.CopyEngine), the transfer rides the tile's copy
+// engine and overlaps with compute. Data movement is bit-identical to
+// the per-job path; only submission counts and simulated timing
+// change.
+
+import (
+	"xehe/internal/ckks"
+	"xehe/internal/gpu"
+	"xehe/internal/poly"
+	"xehe/internal/sycl"
+)
+
+// copyQueue returns the transfer queue: the dedicated copy queue when
+// the context has one, the compute queue otherwise.
+func (c *Context) copyQueue() *sycl.Queue {
+	if c.CopyQ != nil {
+		return c.CopyQ
+	}
+	return c.Queues[0]
+}
+
+// stagingGet obtains a staging buffer of size words from the shared
+// pool (or transiently when the context has none).
+func (c *Context) stagingGet(size int) []uint64 {
+	if c.Staging != nil {
+		return c.Staging.Get(size)
+	}
+	return make([]uint64, size)
+}
+
+func (c *Context) stagingPut(buf []uint64) {
+	if c.Staging != nil {
+		c.Staging.Put(buf)
+	}
+}
+
+// UploadBatch copies k host ciphertexts into device buffers with one
+// gathered H2D submission sized at the whole batch (jobs × components
+// × N words), instead of one submission per component per job. It
+// returns the device ciphertexts, the bytes moved and the copy event
+// (also installed as the pipeline tail) that downstream kernels must
+// depend on. A batch of one moves exactly what Upload moves.
+func (c *Context) UploadBatch(cts []*ckks.Ciphertext) ([]*Ciphertext, int64, gpu.Event) {
+	outs := make([]*Ciphertext, len(cts))
+	var dsts []*sycl.Buffer
+	var srcs [][]uint64
+	var words int
+	for i, ct := range cts {
+		out := &Ciphertext{CT: &ckks.Ciphertext{Scale: ct.Scale, Level: ct.Level}}
+		for _, pv := range ct.Value {
+			p, buf := c.allocPoly(pv.Components())
+			p.IsNTT = pv.IsNTT
+			out.CT.Value = append(out.CT.Value, p)
+			out.bufs = append(out.bufs, buf)
+			dsts = append(dsts, buf)
+			srcs = append(srcs, pv.Data())
+			words += len(pv.Data())
+		}
+		outs[i] = out
+	}
+	q := c.copyQueue()
+	var ev gpu.Event
+	if c.Cfg.Analytic {
+		ev = q.Raw().CopyH2D(int64(words) * 8)
+	} else {
+		staging := c.stagingGet(words)
+		ev = q.CopyInGather(dsts, srcs, staging)
+		c.stagingPut(staging)
+	}
+	c.after([]gpu.Event{ev})
+	return outs, int64(words) * 8, ev
+}
+
+// DownloadBatchAsync submits one gathered D2H transfer for every
+// non-nil ciphertext of a batch (rows scattered from the jobs' device
+// buffers through the staging pool into fresh host polynomials),
+// depending on the current pipeline tail, and returns the host
+// ciphertexts, the bytes moved and the copy event — which the caller
+// waits on, once, when the results are needed. nil entries (failed
+// jobs) produce nil outputs and move no bytes.
+func (c *Context) DownloadBatchAsync(cts []*Ciphertext) ([]*ckks.Ciphertext, int64, gpu.Event) {
+	outs := make([]*ckks.Ciphertext, len(cts))
+	var srcs []*sycl.Buffer
+	var dsts [][]uint64
+	var words int
+	for i, ct := range cts {
+		if ct == nil {
+			continue
+		}
+		out := &ckks.Ciphertext{Scale: ct.CT.Scale, Level: ct.CT.Level}
+		for j, pv := range ct.CT.Value {
+			host := poly.New(c.Params.N, pv.Components())
+			host.IsNTT = pv.IsNTT
+			out.Value = append(out.Value, host)
+			srcs = append(srcs, ct.bufs[j])
+			dsts = append(dsts, host.Data())
+			words += len(host.Data())
+		}
+		outs[i] = out
+	}
+	q := c.copyQueue()
+	var ev gpu.Event
+	if c.Cfg.Analytic {
+		ev = q.Raw().CopyD2H(int64(words)*8, c.deps...)
+	} else {
+		staging := c.stagingGet(words)
+		ev = q.CopyOutScatter(dsts, srcs, staging, c.deps...)
+		c.stagingPut(staging)
+	}
+	c.after([]gpu.Event{ev})
+	return outs, int64(words) * 8, ev
+}
+
+// DownloadBatch is DownloadBatchAsync plus the single synchronizing
+// wait: the whole batch pays host-device synchronization once.
+func (c *Context) DownloadBatch(cts []*Ciphertext) []*ckks.Ciphertext {
+	outs, _, ev := c.DownloadBatchAsync(cts)
+	ev.Wait()
+	c.deps = nil
+	return outs
+}

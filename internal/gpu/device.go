@@ -17,6 +17,7 @@ type Device struct {
 
 	mu        sync.Mutex
 	tileTime  []Cycles // per-tile completion time of the last command
+	copyTime  []Cycles // per-tile copy-engine timeline (Spec.CopyEngine)
 	hostTime  Cycles
 	allocated int64 // live device bytes
 	peakAlloc int64
@@ -35,7 +36,11 @@ type TraceEntry struct {
 
 // NewDevice creates a device from a spec.
 func NewDevice(spec DeviceSpec) *Device {
-	return &Device{Spec: spec, tileTime: make([]Cycles, spec.Tiles)}
+	return &Device{
+		Spec:     spec,
+		tileTime: make([]Cycles, spec.Tiles),
+		copyTime: make([]Cycles, spec.Tiles),
+	}
 }
 
 // NewDevice1 and NewDevice2 build the two benchmark devices.
@@ -66,6 +71,9 @@ func (d *Device) resetClocksLocked() {
 	for i := range d.tileTime {
 		d.tileTime[i] = 0
 	}
+	for i := range d.copyTime {
+		d.copyTime[i] = 0
+	}
 	d.hostTime = 0
 }
 
@@ -76,12 +84,31 @@ func (d *Device) HostTime() Cycles {
 	return d.hostTime
 }
 
-// DeviceTime returns the completion time of the busiest tile.
+// DeviceTime returns the completion time of the busiest timeline
+// (tile compute or copy engine).
 func (d *Device) DeviceTime() Cycles {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var m Cycles
 	for _, t := range d.tileTime {
+		if t > m {
+			m = t
+		}
+	}
+	for _, t := range d.copyTime {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// CopyTime returns the completion time of the busiest copy engine.
+func (d *Device) CopyTime() Cycles {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var m Cycles
+	for _, t := range d.copyTime {
 		if t > m {
 			m = t
 		}
@@ -151,6 +178,11 @@ func (d *Device) RawMalloc(size int64) {
 			d.hostTime = t
 		}
 	}
+	for _, t := range d.copyTime {
+		if t > d.hostTime {
+			d.hostTime = t
+		}
+	}
 	d.hostTime += d.Spec.AllocBaseCycles + d.Spec.AllocPerKBCycles*float64(size>>10)
 }
 
@@ -194,6 +226,7 @@ type Queue struct {
 	tile     int
 	multiQ   bool // part of an explicit multi-queue set (pays the tax)
 	blocking bool // if true, every submission synchronizes the host
+	copyQ    bool // transfers land on the tile's copy-engine timeline
 	last     Event
 }
 
@@ -227,22 +260,48 @@ func (q *Queue) SetBlocking(b bool) { q.blocking = b }
 // NewQueues — e.g. the concurrent scheduler's per-worker queues.
 func (q *Queue) SetMultiQueue(b bool) { q.multiQ = b }
 
+// SetCopyEngine routes this queue's CopyH2D/CopyD2H submissions onto
+// the tile's copy-engine timeline, so transfers overlap with compute
+// and synchronize only through explicit event dependencies. It takes
+// effect only when the device models a copy engine (Spec.CopyEngine);
+// otherwise transfers keep serializing on the compute timeline, so a
+// copy queue degrades gracefully on copy-engine-less hardware.
+func (q *Queue) SetCopyEngine(b bool) { q.copyQ = b }
+
+// CopyEngine reports whether transfers on this queue ride the tile's
+// copy engine.
+func (q *Queue) CopyEngine() bool { return q.copyQ && q.dev.Spec.CopyEngine }
+
 // Tile returns the tile this queue is bound to.
 func (q *Queue) Tile() int { return q.tile }
 
 // Device returns the owning device.
 func (q *Queue) Device() *Device { return q.dev }
 
-// submit places a command of the given duration on the tile timeline
-// after deps, returning its completion event.
+// submit places a command of the given duration on the tile's compute
+// timeline after deps, returning its completion event.
 func (q *Queue) submit(name string, dur Cycles, deps ...Event) Event {
+	return q.submitOn(name, dur, false, deps...)
+}
+
+// submitOn places a command on the tile's compute timeline, or — when
+// copyEngine is set and the device models one — on the tile's copy
+// timeline, so transfers overlap with compute. Copy-engine submissions
+// skip the multi-queue tax (the copy engine is a separate unit, not a
+// contended compute queue) but still pay the host enqueue cost.
+func (q *Queue) submitOn(name string, dur Cycles, copyEngine bool, deps ...Event) Event {
 	d := q.dev
+	copyEngine = copyEngine && d.Spec.CopyEngine
 	d.mu.Lock()
 	if d.traceOn {
 		d.trace = append(d.trace, TraceEntry{Name: name, Cycles: dur})
 	}
 	d.hostTime += d.Spec.HostSubmitCycles
-	start := d.tileTime[q.tile]
+	tl := d.tileTime
+	if copyEngine {
+		tl = d.copyTime
+	}
+	start := tl[q.tile]
 	if d.hostTime > start {
 		start = d.hostTime // commands cannot start before enqueue
 	}
@@ -251,11 +310,11 @@ func (q *Queue) submit(name string, dur Cycles, deps ...Event) Event {
 			start = dep.done
 		}
 	}
-	if q.multiQ {
+	if q.multiQ && !copyEngine {
 		dur += d.Spec.MultiQueueTaxCycles
 	}
 	end := start + dur
-	d.tileTime[q.tile] = end
+	tl[q.tile] = end
 	d.mu.Unlock()
 	ev := Event{dev: d, done: end}
 	q.last = ev
@@ -270,14 +329,17 @@ func (q *Queue) SubmitProfile(p KernelProfile, cg isa.CodeGen, deps ...Event) Ev
 	return q.submit(p.Name, p.Time(&q.dev.Spec, cg, 1), deps...)
 }
 
-// CopyH2D enqueues a host-to-device transfer of n bytes.
+// CopyH2D enqueues a host-to-device transfer of n bytes. On a copy
+// queue (SetCopyEngine) of a copy-engine device it lands on the copy
+// timeline and overlaps with compute.
 func (q *Queue) CopyH2D(n int64, deps ...Event) Event {
-	return q.submit("memcpy_h2d", float64(n)/q.dev.Spec.PCIeBytesPerCycle, deps...)
+	return q.submitOn("memcpy_h2d", float64(n)/q.dev.Spec.PCIeBytesPerCycle, q.copyQ, deps...)
 }
 
-// CopyD2H enqueues a device-to-host transfer of n bytes.
+// CopyD2H enqueues a device-to-host transfer of n bytes (copy-engine
+// placement as CopyH2D).
 func (q *Queue) CopyD2H(n int64, deps ...Event) Event {
-	return q.submit("memcpy_d2h", float64(n)/q.dev.Spec.PCIeBytesPerCycle, deps...)
+	return q.submitOn("memcpy_d2h", float64(n)/q.dev.Spec.PCIeBytesPerCycle, q.copyQ, deps...)
 }
 
 // Wait drains the queue (host waits for the last submitted command).

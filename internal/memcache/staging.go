@@ -1,0 +1,84 @@
+package memcache
+
+import (
+	"sort"
+	"sync"
+)
+
+// StagingPool recycles host staging buffers for gathered host<->device
+// transfers (sycl.CopyInGather/CopyOutScatter). On real hardware these
+// are pinned (page-locked) allocations — mandatory for asynchronous
+// DMA and expensive to create — so the transfer pipeline reuses a
+// small working set across batch waves instead of allocating per
+// transfer. Like the device cache, reuse is best-fit: Get returns the
+// smallest free buffer that holds the request, growing the pool only
+// on a miss. All methods are safe for concurrent use.
+type StagingPool struct {
+	mu     sync.Mutex
+	free   [][]uint64 // sorted by capacity (ascending)
+	gets   int64
+	reuses int64
+}
+
+// NewStagingPool creates an empty staging pool.
+func NewStagingPool() *StagingPool { return &StagingPool{} }
+
+// Get returns a staging buffer of exactly size words, reusing the
+// smallest pooled buffer with sufficient capacity or allocating a
+// fresh one on a miss.
+func (p *StagingPool) Get(size int) []uint64 {
+	p.mu.Lock()
+	p.gets++
+	i := sort.Search(len(p.free), func(i int) bool { return cap(p.free[i]) >= size })
+	if i < len(p.free) {
+		buf := p.free[i]
+		p.free = append(p.free[:i], p.free[i+1:]...)
+		p.reuses++
+		p.mu.Unlock()
+		return buf[:size]
+	}
+	p.mu.Unlock()
+	return make([]uint64, size)
+}
+
+// Put returns a buffer to the pool for reuse. Contents are not
+// cleared; every Get fully overwrites the staging area it uses.
+func (p *StagingPool) Put(buf []uint64) {
+	if cap(buf) == 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	i := sort.Search(len(p.free), func(i int) bool { return cap(p.free[i]) >= cap(buf) })
+	p.free = append(p.free, nil)
+	copy(p.free[i+1:], p.free[i:])
+	p.free[i] = buf
+}
+
+// Warm pre-populates the pool with n buffers of size words each, so
+// the first transfer waves never allocate. Warm buffers count as
+// reuses when handed out, mirroring Cache.Warm staying out of the
+// miss statistics.
+func (p *StagingPool) Warm(n, size int) {
+	if n <= 0 || size <= 0 {
+		return
+	}
+	for i := 0; i < n; i++ {
+		p.Put(make([]uint64, size))
+	}
+}
+
+// Stats returns how many buffers were requested and how many of those
+// requests were served from the pool.
+func (p *StagingPool) Stats() (gets, reuses int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.gets, p.reuses
+}
+
+// FreeCount returns the number of buffers currently pooled.
+func (p *StagingPool) FreeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}

@@ -1,0 +1,82 @@
+package memcache
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStagingPoolReuse(t *testing.T) {
+	p := NewStagingPool()
+	a := p.Get(1024)
+	if len(a) != 1024 {
+		t.Fatalf("Get returned %d words, want 1024", len(a))
+	}
+	p.Put(a)
+	b := p.Get(512) // best fit: the 1024-cap buffer serves it
+	if gets, reuses := p.Stats(); gets != 2 || reuses != 1 {
+		t.Fatalf("stats = %d gets / %d reuses, want 2/1", gets, reuses)
+	}
+	if len(b) != 512 || cap(b) != 1024 {
+		t.Fatalf("reused buffer len/cap = %d/%d, want 512/1024", len(b), cap(b))
+	}
+	p.Put(b)
+	if p.FreeCount() != 1 {
+		t.Fatalf("free count = %d, want 1", p.FreeCount())
+	}
+}
+
+func TestStagingPoolBestFit(t *testing.T) {
+	p := NewStagingPool()
+	p.Put(make([]uint64, 2048))
+	p.Put(make([]uint64, 256))
+	p.Put(make([]uint64, 512))
+	got := p.Get(300)
+	if cap(got) != 512 {
+		t.Fatalf("best fit picked cap %d, want 512 (smallest that holds 300)", cap(got))
+	}
+	// A request larger than anything pooled allocates fresh.
+	big := p.Get(4096)
+	if cap(big) != 4096 {
+		t.Fatalf("oversized request got cap %d, want a fresh 4096", cap(big))
+	}
+	if _, reuses := p.Stats(); reuses != 1 {
+		t.Fatalf("reuses = %d, want 1", reuses)
+	}
+}
+
+func TestStagingPoolWarm(t *testing.T) {
+	p := NewStagingPool()
+	p.Warm(3, 1024)
+	if p.FreeCount() != 3 {
+		t.Fatalf("free count after Warm = %d, want 3", p.FreeCount())
+	}
+	p.Get(1024)
+	if gets, reuses := p.Stats(); gets != 1 || reuses != 1 {
+		t.Fatalf("warmed buffers must count as reuses when handed out (got %d/%d)", gets, reuses)
+	}
+}
+
+// TestStagingPoolConcurrent hammers Get/Put from several goroutines;
+// meaningful under -race.
+func TestStagingPoolConcurrent(t *testing.T) {
+	p := NewStagingPool()
+	p.Warm(4, 512)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				buf := p.Get(128 + 64*(w%4))
+				for j := range buf {
+					buf[j] = uint64(w)
+				}
+				p.Put(buf)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if gets, _ := p.Stats(); gets != 1600 {
+		t.Fatalf("gets = %d, want 1600", gets)
+	}
+}

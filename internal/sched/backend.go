@@ -30,6 +30,11 @@ type Backend interface {
 	WorkerContext(params *ckks.Parameters, cfg core.Config, id int, multiQ bool) *core.Context
 	// Cache returns the shared device buffer cache.
 	Cache() *memcache.Cache
+	// Staging returns the shared pinned-staging pool backing gathered
+	// host<->device transfers (Config.FuseTransfers); worker contexts
+	// draw their transfer staging from it so buffers recycle across
+	// batch waves.
+	Staging() *memcache.StagingPool
 	// SimulatedSeconds returns the simulated wall-clock consumed on the
 	// backend so far (the busiest of host and tile timelines).
 	SimulatedSeconds() float64
@@ -44,14 +49,19 @@ type Backend interface {
 // DeviceBackend is the single-device Backend: one simulated GPU whose
 // tiles the workers pin to, with one device-wide buffer cache.
 type DeviceBackend struct {
-	dev   *gpu.Device
-	cache *memcache.Cache
+	dev     *gpu.Device
+	cache   *memcache.Cache
+	staging *memcache.StagingPool
 }
 
 // NewDeviceBackend wraps a device and a fresh buffer cache (enabled or
 // pass-through per cacheEnabled) as a scheduler backend.
 func NewDeviceBackend(dev *gpu.Device, cacheEnabled bool) *DeviceBackend {
-	return &DeviceBackend{dev: dev, cache: memcache.New(dev, cacheEnabled)}
+	return &DeviceBackend{
+		dev:     dev,
+		cache:   memcache.New(dev, cacheEnabled),
+		staging: memcache.NewStagingPool(),
+	}
 }
 
 // Device returns the underlying simulated device.
@@ -67,11 +77,16 @@ func (b *DeviceBackend) WorkerContext(params *ckks.Parameters, cfg core.Config, 
 	if cfg.Blocking {
 		q.Raw().SetBlocking(true)
 	}
-	return core.NewContextOn(params, b.dev, cfg, []*sycl.Queue{q}, b.cache)
+	ctx := core.NewContextOn(params, b.dev, cfg, []*sycl.Queue{q}, b.cache)
+	ctx.Staging = b.staging
+	return ctx
 }
 
 // Cache returns the device-wide buffer cache.
 func (b *DeviceBackend) Cache() *memcache.Cache { return b.cache }
+
+// Staging returns the device-wide pinned-staging pool.
+func (b *DeviceBackend) Staging() *memcache.StagingPool { return b.staging }
 
 // SimulatedSeconds returns the device's simulated wall-clock.
 func (b *DeviceBackend) SimulatedSeconds() float64 { return b.dev.SimulatedSeconds() }

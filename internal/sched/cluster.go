@@ -447,6 +447,9 @@ func (c *Cluster) Stats() ClusterStats {
 		cs.FusedBatches += st.FusedBatches
 		cs.FusedSteps += st.FusedSteps
 		cs.UnfusedSteps += st.UnfusedSteps
+		cs.TransferBatches += st.TransferBatches
+		cs.BytesH2D += st.BytesH2D
+		cs.BytesD2H += st.BytesD2H
 		cs.StolenIn += st.StolenIn
 		cs.StolenOut += st.StolenOut
 		cs.CacheHits += st.CacheHits
@@ -464,6 +467,7 @@ func (c *Cluster) Stats() ClusterStats {
 			cs.PerClass[k].DeadlineMiss += pc.DeadlineMiss
 			cs.PerClass[k].Batches += pc.Batches
 			cs.PerClass[k].Coalesced += pc.Coalesced
+			cs.PerClass[k].TransferBatches += pc.TransferBatches
 			if pc.MaxBatch > cs.PerClass[k].MaxBatch {
 				cs.PerClass[k].MaxBatch = pc.MaxBatch
 			}

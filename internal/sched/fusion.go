@@ -28,7 +28,35 @@ import (
 // per-job attribution is impossible mid-fusion, so the caller falls
 // back to the job-at-a-time path to isolate the offender.
 func evalChainFused(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, jobs []*Job) (vals [][]*core.Ciphertext, err error) {
-	stage := -1 // -1 = uploading inputs; >= 0 = op index being evaluated
+	ins := make([][]*core.Ciphertext, len(jobs))
+	defer func() {
+		if r := recover(); r != nil {
+			for _, vs := range ins {
+				for _, v := range vs {
+					if v != nil {
+						c.Free(v)
+					}
+				}
+			}
+			vals = nil
+			err = fmt.Errorf("sched: fused batch input upload panicked: %v", r)
+		}
+	}()
+	for j, job := range jobs {
+		for _, in := range job.Inputs {
+			ins[j] = append(ins[j], c.Upload(in))
+		}
+	}
+	return evalChainFusedOn(c, rlk, gks, jobs, ins)
+}
+
+// evalChainFusedOn is evalChainFused over already device-resident
+// inputs (the fused transfer pipeline ships them in one gathered
+// staging submission). It takes ownership of ins: on error every
+// value — inputs and intermediates — has been recycled.
+func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, jobs []*Job, ins [][]*core.Ciphertext) (vals [][]*core.Ciphertext, err error) {
+	stage := 0
+	vals = ins
 	defer func() {
 		if r := recover(); r != nil {
 			for _, vs := range vals {
@@ -39,20 +67,10 @@ func evalChainFused(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.Galoi
 				}
 			}
 			vals = nil
-			if stage < 0 {
-				err = fmt.Errorf("sched: fused batch input upload panicked: %v", r)
-			} else {
-				err = fmt.Errorf("sched: fused batch op %d (%v) panicked: %v", stage, jobs[0].Ops[stage].Code, r)
-			}
+			err = fmt.Errorf("sched: fused batch op %d (%v) panicked: %v", stage, jobs[0].Ops[stage].Code, r)
 		}
 	}()
 	k := len(jobs)
-	vals = make([][]*core.Ciphertext, k)
-	for j, job := range jobs {
-		for _, in := range job.Inputs {
-			vals[j] = append(vals[j], c.Upload(in))
-		}
-	}
 	// Same shape key == same op chain; job 0's chain drives the batch.
 	gather := func(idx int) []*core.Ciphertext {
 		cts := make([]*core.Ciphertext, k)
@@ -110,6 +128,31 @@ func (w *worker) stageFused(s *Scheduler, batch []*task) ([]*staged, bool) {
 	}
 	out := make([]*staged, len(batch))
 	for i, t := range batch {
+		out[i] = &staged{t: t, vals: vals[i]}
+	}
+	return out, true
+}
+
+// stageFusedOn is stageFused for a batch whose inputs are already
+// device-resident (fused transfer pipeline). A failed fused attempt
+// has recycled the gathered inputs, so the job-at-a-time fallback
+// re-uploads each job's inputs from the host — the slow path, paid
+// only when a batch actually breaks.
+func (w *worker) stageFusedOn(s *Scheduler, ub *uploadedBatch) ([]*staged, bool) {
+	jobs := make([]*Job, len(ub.batch))
+	for i, t := range ub.batch {
+		jobs[i] = t.job
+	}
+	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ub.ins)
+	if err != nil {
+		out := make([]*staged, len(ub.batch))
+		for i, t := range ub.batch {
+			out[i] = w.stage(s, t)
+		}
+		return out, false
+	}
+	out := make([]*staged, len(ub.batch))
+	for i, t := range ub.batch {
 		out[i] = &staged{t: t, vals: vals[i]}
 	}
 	return out, true

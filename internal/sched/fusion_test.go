@@ -11,10 +11,12 @@ import (
 	"xehe/internal/gpu"
 )
 
-// fusedConfig mirrors schedConfig with cross-job kernel fusion on.
+// fusedConfig mirrors schedConfig with cross-job kernel fusion
+// explicitly on (the default since the soak flip; pinned here so the
+// fusion tests keep their meaning if the default ever moves again).
 func fusedConfig(workers int) Config {
 	cfg := schedConfig(workers)
-	cfg.FuseKernels = true
+	cfg.FuseKernels = ToggleOn
 	return cfg
 }
 

@@ -24,6 +24,32 @@ var ErrClosed = errors.New("sched: scheduler is closed")
 // with a full share block instead (plain backpressure).
 var ErrOverloaded = errors.New("sched: class queue share exhausted")
 
+// Toggle is a three-state boolean knob: the zero value selects the
+// knob's documented default, so defaults can flip (as FuseKernels did
+// once fused execution had soaked) while both states stay reachable
+// for baseline sweeps.
+type Toggle int
+
+const (
+	// ToggleDefault selects the knob's documented default.
+	ToggleDefault Toggle = iota
+	// ToggleOn forces the knob on.
+	ToggleOn
+	// ToggleOff forces the knob off.
+	ToggleOff
+)
+
+// or resolves the toggle against the knob's default.
+func (t Toggle) or(def bool) bool {
+	switch t {
+	case ToggleOn:
+		return true
+	case ToggleOff:
+		return false
+	}
+	return def
+}
+
 // Config tunes the scheduler. The zero value of any field selects a
 // sensible default.
 type Config struct {
@@ -45,8 +71,22 @@ type Config struct {
 	// submission overhead once per step per batch instead of once per
 	// job. Results are bit-for-bit identical to the unfused path
 	// (pinned by the differential harness); only simulated timing and
-	// launch counts change. Default off.
-	FuseKernels bool
+	// launch counts change. Default ON (flipped after the fused path
+	// soaked bit-identical for a PR cycle); set ToggleOff for the
+	// unfused baseline.
+	FuseKernels Toggle
+	// FuseTransfers switches the workers to the fused transfer
+	// pipeline: a batch's input uploads become ONE gathered H2D staging
+	// submission and its result downloads ONE scattered D2H (through
+	// the backend's pinned staging pool), both riding the device's
+	// per-tile copy engine so transfers overlap with compute, and the
+	// worker double-buffers — while batch k computes, batch k+1's
+	// inputs upload, and finished results wait out their copy while the
+	// next batch's kernels launch. Composable with FuseKernels (fused
+	// kernels + fused transfers is the fastest configuration). Results
+	// are bit-for-bit identical to the serial path; only submission
+	// counts and simulated timing change. Default off.
+	FuseTransfers Toggle
 	// PendingCap bounds the dispatcher's pending queue — the jobs
 	// accepted but not yet shipped to a worker, i.e. the pool the QoS
 	// policy reorders. Class admission shares are fractions of this
@@ -73,11 +113,22 @@ type Config struct {
 	// inline assembly, memory cache, ...). Config.Core.DualTile is
 	// ignored: tile parallelism comes from the worker pool itself.
 	Core core.Config
+
+	// Resolved toggles (withDefaults): the hot paths branch on these.
+	fuseKernels   bool
+	fuseTransfers bool
 }
 
 func (c Config) withDefaults(tiles int) Config {
 	if c.Workers <= 0 {
 		c.Workers = tiles
+	}
+	c.fuseKernels = c.FuseKernels.or(true)
+	c.fuseTransfers = c.FuseTransfers.or(false)
+	if c.fuseTransfers {
+		// The transfer pipeline needs a per-tile copy queue on every
+		// worker context so gathered copies overlap with compute.
+		c.Core.CopyEngine = true
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 8
@@ -117,6 +168,11 @@ type ClassStats struct {
 	Batches   int64
 	MaxBatch  int
 	Coalesced int64
+	// TransferBatches counts the gathered H2D/D2H staging submissions
+	// issued for this class's batches (Config.FuseTransfers; two per
+	// batch in steady state — one upload, one download), the per-class
+	// view of coalescing effectiveness on the transfer path.
+	TransferBatches int64
 	// P50/P99 are simulated-latency quantiles (seconds from
 	// submission to completion on the backend clock) over the
 	// completed jobs of the class; 0 when none completed.
@@ -138,9 +194,17 @@ type Stats struct {
 	// singleton batches, and fused batches that fell back after an
 	// execution error). FusedSteps/(FusedSteps+UnfusedSteps) is the
 	// fraction of steps that paid launch overhead once per batch.
-	FusedBatches           int64
-	FusedSteps             int64
-	UnfusedSteps           int64
+	FusedBatches int64
+	FusedSteps   int64
+	UnfusedSteps int64
+	// TransferBatches counts gathered transfer submissions
+	// (Config.FuseTransfers): each is one staged H2D upload or one
+	// scattered D2H download covering a whole batch. BytesH2D/BytesD2H
+	// are the bytes they moved, so BytesH2D/TransferBatches exposes the
+	// mean gathered-transfer size — the coalescing effectiveness of the
+	// transfer path.
+	TransferBatches        int64
+	BytesH2D, BytesD2H     int64
 	PerWorker              []int64
 	PerClass               []ClassStats
 	StolenIn, StolenOut    int64 // jobs migrated in/out by work stealing
@@ -821,44 +885,268 @@ type staged struct {
 }
 
 // runWorker executes batches: stage every job (uploads + full kernel
-// chain, asynchronously), then finish every job (download + free).
-// All staging happens before any download, so the host never blocks
-// between jobs mid-batch — the synchronizing downloads are deferred
-// to the batch tail, where the first wait absorbs most of the stall
-// and the rest find their events already complete.
+// chain, asynchronously), then finish the batch (downloads with one
+// synchronization at the tail + free). All staging happens before any
+// download, so the host never blocks between jobs mid-batch.
 //
 // With Config.FuseKernels on, coalesced batches (size >= 2) stage
 // through the fused step-at-a-time executor instead: one widened
 // kernel launch sequence per op-chain step for the whole batch (see
 // fusion.go). Singleton batches always take the job-at-a-time path —
 // there is nothing to fuse across.
+//
+// With Config.FuseTransfers on, the worker switches to the
+// double-buffered pipeline (runWorkerOverlapped): gathered batch
+// uploads/downloads on the copy engine, prefetched one batch ahead.
 func (s *Scheduler) runWorker(w *worker) {
 	defer s.workWg.Done()
+	if s.cfg.fuseTransfers {
+		s.runWorkerOverlapped(w)
+		return
+	}
 	for batch := range w.ch {
 		// The batch left the channel: a dispatch slot freed up.
 		s.wake(s.freec)
 		// Record batch stats up front: jobDone on the batch's last job
 		// releases Drain, and Stats() must already see this batch then.
 		s.batchStarted(batch[0].class, len(batch))
-		var stagedJobs []*staged
-		fused := false
-		if s.cfg.FuseKernels && len(batch) >= 2 {
-			stagedJobs, fused = w.stageFused(s, batch)
-		} else {
-			stagedJobs = make([]*staged, len(batch))
-			for i, t := range batch {
-				stagedJobs[i] = w.stage(s, t)
+		stagedJobs, fused := w.stageBatch(s, batch)
+		s.stepsDone(batch, fused)
+		w.finishBatch(s, stagedJobs)
+	}
+}
+
+// stageBatch stages every job of a batch on the worker's context:
+// fused step-at-a-time when configured and the batch coalesced,
+// job-at-a-time otherwise. It reports whether the fused path ran.
+func (w *worker) stageBatch(s *Scheduler, batch []*task) ([]*staged, bool) {
+	if s.cfg.fuseKernels && len(batch) >= 2 {
+		return w.stageFused(s, batch)
+	}
+	stagedJobs := make([]*staged, len(batch))
+	for i, t := range batch {
+		stagedJobs[i] = w.stage(s, t)
+	}
+	return stagedJobs, false
+}
+
+// runWorkerOverlapped is the fused transfer pipeline
+// (Config.FuseTransfers): each batch's inputs arrive in one gathered
+// H2D staging submission and its results leave in one scattered D2H,
+// both on the tile's copy engine. The worker double-buffers one batch
+// deep in both directions — whenever a follow-up batch is already
+// queued, its inputs upload while the current batch computes, and the
+// current batch's download is waited on only after the next batch's
+// kernels have been submitted, so neither transfer direction blocks a
+// launch. With no follow-up work queued there is nothing to overlap
+// with and the in-flight download resolves immediately (sleeping on
+// the channel with unresolved futures would wedge Drain).
+func (s *Scheduler) runWorkerOverlapped(w *worker) {
+	var next *uploadedBatch // inputs in flight on the copy engine
+	var pend *pendingBatch  // results in flight on the copy engine
+	for {
+		cur := next
+		next = nil
+		if cur == nil && pend != nil {
+			select {
+			case batch, ok := <-w.ch:
+				if !ok {
+					w.resolveBatch(s, pend)
+					return
+				}
+				s.wake(s.freec)
+				cur = w.uploadBatch(s, batch)
+			default:
+				w.resolveBatch(s, pend)
+				pend = nil
 			}
 		}
-		s.stepsDone(batch, fused)
-		for _, sj := range stagedJobs {
-			w.finish(sj)
-			sj.t.fut.err = sj.err
-			close(sj.t.fut.done)
-			w.pending.Add(-1)
-			s.jobDone(w, sj.t, sj.err != nil, len(batch))
+		if cur == nil {
+			batch, ok := <-w.ch
+			if !ok {
+				break
+			}
+			s.wake(s.freec)
+			cur = w.uploadBatch(s, batch)
+		}
+		// Prefetch: if another batch is already queued, put its inputs
+		// on the copy engine now — they transfer while cur computes.
+		select {
+		case batch, ok := <-w.ch:
+			if ok {
+				s.wake(s.freec)
+				next = w.uploadBatch(s, batch)
+			}
+		default:
+		}
+		s.batchStarted(cur.batch[0].class, len(cur.batch))
+		stagedJobs, fused := w.stageUploaded(s, cur)
+		s.stepsDone(cur.batch, fused)
+		pendCur := w.submitBatchDownload(s, cur.batch[0].class, stagedJobs)
+		if pend != nil {
+			// Waited only now — after cur's kernels (and next's upload)
+			// were submitted — so the previous batch's D2H overlapped
+			// with this batch's compute.
+			w.resolveBatch(s, pend)
+		}
+		pend = pendCur
+	}
+	if pend != nil {
+		w.resolveBatch(s, pend)
+	}
+}
+
+// uploadedBatch is a batch whose inputs have been shipped to the
+// device in one gathered staging submission. ins[i] are job i's
+// device-resident inputs; ev is the copy event every chain must
+// depend on. A non-nil err (gathered upload panicked) fails the whole
+// batch.
+type uploadedBatch struct {
+	batch []*task
+	ins   [][]*core.Ciphertext
+	ev    gpu.Event
+	err   error
+}
+
+// uploadBatch gathers every input of every job in the batch into one
+// staged H2D submission on the copy engine.
+func (w *worker) uploadBatch(s *Scheduler, batch []*task) (ub *uploadedBatch) {
+	ub = &uploadedBatch{batch: batch}
+	defer func() {
+		if r := recover(); r != nil {
+			for _, ins := range ub.ins {
+				for _, ct := range ins {
+					if ct != nil {
+						w.ctx.Free(ct)
+					}
+				}
+			}
+			ub.ins = nil
+			ub.err = fmt.Errorf("sched: batch input upload panicked: %v", r)
+		}
+	}()
+	var hosts []*ckks.Ciphertext
+	for _, t := range batch {
+		hosts = append(hosts, t.job.Inputs...)
+	}
+	devs, bytes, ev := w.ctx.UploadBatch(hosts)
+	s.transferDone(batch[0].class, bytes, 0)
+	ub.ev = ev
+	ub.ins = make([][]*core.Ciphertext, len(batch))
+	off := 0
+	for i, t := range batch {
+		// Cap each job's slice at its own inputs (three-index slice):
+		// the chains append intermediates to these value lists, and an
+		// uncapped subslice would clobber the next job's entries.
+		ub.ins[i] = devs[off : off+len(t.job.Inputs) : off+len(t.job.Inputs)]
+		off += len(t.job.Inputs)
+	}
+	return ub
+}
+
+// stageUploaded stages a batch whose inputs are already
+// device-resident, restoring the context's pipeline tail to the
+// batch's own upload event first (a prefetched upload for the next
+// batch may have overwritten it).
+func (w *worker) stageUploaded(s *Scheduler, ub *uploadedBatch) ([]*staged, bool) {
+	if ub.err != nil {
+		out := make([]*staged, len(ub.batch))
+		for i, t := range ub.batch {
+			out[i] = &staged{t: t, err: ub.err}
+		}
+		return out, false
+	}
+	w.ctx.PipelineAfter(ub.ev)
+	if s.cfg.fuseKernels && len(ub.batch) >= 2 {
+		return w.stageFusedOn(s, ub)
+	}
+	out := make([]*staged, len(ub.batch))
+	for i, t := range ub.batch {
+		out[i] = w.stageOn(s, t, ub.ins[i])
+	}
+	return out, false
+}
+
+// pendingBatch is a batch whose results have been submitted for
+// download but whose copy event has not been waited on yet. done is
+// the batch's completion stamp on the simulated clock, captured when
+// the download was submitted: the in-order timelines already extend
+// to its completion then, while the deferred wait happens only after
+// the NEXT batch's kernels are in flight — reading the clock there
+// would charge this batch's latency (and deadline outcomes) with the
+// next batch's compute.
+type pendingBatch struct {
+	staged []*staged
+	ev     gpu.Event
+	done   float64
+}
+
+// submitBatchDownload ships every successful result of the batch in
+// one scattered D2H staging submission on the copy engine, fills the
+// futures' result slots, and returns the in-flight handle; the caller
+// waits on it after submitting the next batch's work. Device buffers
+// recycle immediately: the simulator executes the memcpy functionally
+// at submission (a real backend would defer the free to the event).
+func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*staged) *pendingBatch {
+	pb := &pendingBatch{staged: stagedJobs}
+	results := make([]*core.Ciphertext, len(stagedJobs))
+	any := false
+	for i, sj := range stagedJobs {
+		if sj.err == nil {
+			results[i] = sj.vals[len(sj.vals)-1]
+			any = true
 		}
 	}
+	if any {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					for _, sj := range stagedJobs {
+						if sj.err == nil {
+							sj.err = fmt.Errorf("sched: batch download panicked: %v", r)
+						}
+					}
+				}
+			}()
+			outs, bytes, ev := w.ctx.DownloadBatchAsync(results)
+			for i, sj := range stagedJobs {
+				if sj.err == nil {
+					sj.t.fut.res = outs[i]
+				}
+			}
+			pb.ev = ev
+			s.transferDone(class, 0, bytes)
+		}()
+	}
+	for _, sj := range stagedJobs {
+		w.freeAll(sj)
+	}
+	pb.done = s.backend.SimulatedSeconds()
+	return pb
+}
+
+// resolveBatch waits out the batch's download event (the pipeline's
+// only host synchronization) and completes every future, accounting
+// each job against the batch's own completion stamp.
+func (w *worker) resolveBatch(s *Scheduler, pb *pendingBatch) {
+	pb.ev.Wait()
+	for _, sj := range pb.staged {
+		sj.t.fut.err = sj.err
+		close(sj.t.fut.done)
+		w.pending.Add(-1)
+		s.jobDone(w, sj.t, sj.err != nil, len(pb.staged), pb.done)
+	}
+}
+
+// transferDone accounts one gathered transfer submission against the
+// global and per-class counters.
+func (s *Scheduler) transferDone(class int, h2d, d2h int64) {
+	s.statMu.Lock()
+	s.stats.TransferBatches++
+	s.stats.BytesH2D += h2d
+	s.stats.BytesD2H += d2h
+	s.classStat[class].TransferBatches++
+	s.statMu.Unlock()
 }
 
 // stepsDone accounts the batch's op-chain steps as fused (one widened
@@ -877,25 +1165,35 @@ func (s *Scheduler) stepsDone(batch []*task, fused bool) {
 
 // evalChain uploads a job's inputs and submits its whole op chain on
 // the context without host synchronization, returning the device value
-// list (inputs + intermediates; the last entry is the result). Every
-// value stays allocated until the caller frees it: later ops of a
-// DAG-shaped job may reference any earlier value. On panic the
-// partially built value list is returned alongside the error so the
-// caller can recycle the buffers.
+// list (inputs + intermediates; the last entry is the result). On
+// panic the partially built value list is returned alongside the error
+// so the caller can recycle the buffers.
 func evalChain(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job) (vals []*core.Ciphertext, err error) {
-	stage := -1 // -1 = uploading inputs; >= 0 = op index being evaluated
 	defer func() {
 		if r := recover(); r != nil {
-			if stage < 0 {
-				err = fmt.Errorf("sched: job input upload panicked: %v", r)
-			} else {
-				err = fmt.Errorf("sched: job op %d (%v) panicked: %v", stage, job.Ops[stage].Code, r)
-			}
+			err = fmt.Errorf("sched: job input upload panicked: %v", r)
 		}
 	}()
 	for _, in := range job.Inputs {
 		vals = append(vals, c.Upload(in))
 	}
+	return evalChainOn(c, rlk, gks, job, vals)
+}
+
+// evalChainOn submits a job's whole op chain over already
+// device-resident inputs (the fused transfer pipeline uploads them in
+// one gathered submission). The value list starts as the inputs and
+// every value stays allocated until the caller frees it: later ops of
+// a DAG-shaped job may reference any earlier value. On panic the
+// partial value list (inputs included) is returned with the error.
+func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job, ins []*core.Ciphertext) (vals []*core.Ciphertext, err error) {
+	vals = ins
+	stage := 0
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("sched: job op %d (%v) panicked: %v", stage, job.Ops[stage].Code, r)
+		}
+	}()
 	for i, op := range job.Ops {
 		stage = i
 		var r *core.Ciphertext
@@ -932,21 +1230,58 @@ func (w *worker) stage(s *Scheduler, t *task) *staged {
 	return sj
 }
 
-// finish downloads the staged job's result (the batch's only
-// host-synchronizing step) and returns every device buffer to the
-// shared cache.
-func (w *worker) finish(sj *staged) {
+// stageOn runs a job's chain over pre-uploaded device inputs, taking
+// ownership of them (freed on error along with the intermediates).
+func (w *worker) stageOn(s *Scheduler, t *task, ins []*core.Ciphertext) *staged {
+	sj := &staged{t: t}
+	sj.vals, sj.err = evalChainOn(w.ctx, s.rlk, s.gks, t.job, ins)
 	if sj.err != nil {
-		return
+		w.freeAll(sj)
 	}
+	return sj
+}
+
+// finishBatch downloads every staged result with one host-device
+// synchronization at the batch tail and returns every device buffer
+// to the shared cache, then completes the futures. Every result's
+// copies are submitted asynchronously first; the single wait on the
+// final event covers them all (the worker's queue is in-order), where
+// each job previously paid its own HostSyncCycles even though the
+// first wait had already synchronized the host past every compute
+// event.
+func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
+	var last gpu.Event
+	for _, sj := range stagedJobs {
+		if sj.err != nil {
+			continue
+		}
+		if ev, ok := w.submitDownload(sj); ok {
+			last = ev
+		}
+	}
+	last.Wait()
+	done := s.backend.SimulatedSeconds()
+	for _, sj := range stagedJobs {
+		w.freeAll(sj)
+		sj.t.fut.err = sj.err
+		close(sj.t.fut.done)
+		w.pending.Add(-1)
+		s.jobDone(w, sj.t, sj.err != nil, len(stagedJobs), done)
+	}
+}
+
+// submitDownload submits one job's result copies without waiting.
+func (w *worker) submitDownload(sj *staged) (ev gpu.Event, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
 			sj.err = fmt.Errorf("sched: job download panicked: %v", r)
+			ok = false
 		}
-		w.freeAll(sj)
 	}()
 	res := sj.vals[len(sj.vals)-1]
-	sj.t.fut.res = w.ctx.Download(res)
+	out, ev := w.ctx.DownloadAsync(res)
+	sj.t.fut.res = out
+	return ev, true
 }
 
 func (w *worker) freeAll(sj *staged) {
@@ -958,8 +1293,10 @@ func (w *worker) freeAll(sj *staged) {
 	sj.vals = nil
 }
 
-func (s *Scheduler) jobDone(w *worker, t *task, failed bool, batchLen int) {
-	done := s.backend.SimulatedSeconds()
+// jobDone accounts one completed job. done is the job's completion
+// stamp on the simulated clock (the callers read it once per batch,
+// at the point that reflects the batch's own work).
+func (s *Scheduler) jobDone(w *worker, t *task, failed bool, batchLen int, done float64) {
 	lat := done - t.enq
 	if lat < 0 {
 		lat = 0

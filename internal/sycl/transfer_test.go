@@ -1,0 +1,178 @@
+package sycl
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"xehe/internal/gpu"
+)
+
+func fillRandom(rng *rand.Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = rng.Uint64()
+	}
+	return out
+}
+
+// TestCopyInGatherBatchOfOneMatchesCopyIn pins the degenerate batch: a
+// gathered copy of a single row must equal the plain CopyIn exactly —
+// same device data and the same simulated completion time.
+func TestCopyInGatherBatchOfOneMatchesCopyIn(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := fillRandom(rng, 512)
+
+	dPlain := gpu.NewDevice1()
+	qPlain := NewQueue(dPlain, 0)
+	bPlain := MallocDevice(dPlain, 512)
+	evPlain := qPlain.CopyIn(bPlain, src)
+
+	dGather := gpu.NewDevice1()
+	qGather := NewQueue(dGather, 0)
+	bGather := MallocDevice(dGather, 512)
+	staging := make([]uint64, 512)
+	evGather := qGather.CopyInGather([]*Buffer{bGather}, [][]uint64{src}, staging)
+
+	if evPlain.Done() != evGather.Done() {
+		t.Fatalf("batch-of-one gather completes at %v, plain CopyIn at %v; must be identical",
+			evGather.Done(), evPlain.Done())
+	}
+	for i := range src {
+		if bGather.Data[i] != bPlain.Data[i] {
+			t.Fatalf("word %d: gather %d vs plain %d", i, bGather.Data[i], bPlain.Data[i])
+		}
+	}
+}
+
+// TestCopyGatherScatterRoundTripRagged round-trips a ragged batch
+// (rows of different lengths, as a final partial batch produces)
+// through CopyInGather and CopyOutScatter: every row must survive
+// bit-exactly and each direction must cost exactly one submission
+// sized at the row sum.
+func TestCopyGatherScatterRoundTripRagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	d := gpu.NewDevice1()
+	q := NewQueue(d, 0)
+	sizes := []int{512, 128, 1024, 64}
+	total := 0
+	srcs := make([][]uint64, len(sizes))
+	bufs := make([]*Buffer, len(sizes))
+	for i, n := range sizes {
+		srcs[i] = fillRandom(rng, n)
+		bufs[i] = MallocDevice(d, n)
+		total += n
+	}
+	staging := make([]uint64, total)
+	// The transfer starts at the host clock (driver allocations above
+	// advanced it; the tile timeline is empty), so the expected
+	// completion is host + enqueue cost + one transfer over the row sum.
+	hostBefore := d.HostTime()
+	evIn := q.CopyInGather(bufs, srcs, staging)
+	wantDone := hostBefore + d.Spec.HostSubmitCycles + float64(total*8)/d.Spec.PCIeBytesPerCycle
+	if evIn.Done() < wantDone*0.999 || evIn.Done() > wantDone*1.001 {
+		t.Fatalf("gathered H2D done at %v, want ~%v (one submission over the row sum)", evIn.Done(), wantDone)
+	}
+	dsts := make([][]uint64, len(sizes))
+	for i, n := range sizes {
+		dsts[i] = make([]uint64, n)
+	}
+	q.CopyOutScatter(dsts, bufs, staging)
+	for i := range srcs {
+		for j := range srcs[i] {
+			if dsts[i][j] != srcs[i][j] {
+				t.Fatalf("row %d word %d: got %d want %d", i, j, dsts[i][j], srcs[i][j])
+			}
+		}
+	}
+}
+
+// TestCopyGatherWithoutStagingStillExact pins the fallback: a nil (or
+// undersized) staging buffer degrades to direct row copies with the
+// same single-submission cost and identical data.
+func TestCopyGatherWithoutStagingStillExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	d := gpu.NewDevice1()
+	q := NewQueue(d, 0)
+	srcs := [][]uint64{fillRandom(rng, 256), fillRandom(rng, 256)}
+	bufs := []*Buffer{MallocDevice(d, 256), MallocDevice(d, 256)}
+	q.CopyInGather(bufs, srcs, nil)
+	for i := range srcs {
+		for j := range srcs[i] {
+			if bufs[i].Data[j] != srcs[i][j] {
+				t.Fatalf("row %d word %d mismatch without staging", i, j)
+			}
+		}
+	}
+}
+
+// TestCopyQueueEventOrdering pins the copy/compute synchronization
+// contract end to end on the sycl layer: an upload on the copy queue
+// overlaps an in-flight kernel, a kernel depending on that upload
+// starts after it, and a download depending on the kernel completes
+// after the kernel — the exact event chain the fused transfer
+// pipeline relies on.
+func TestCopyQueueEventOrdering(t *testing.T) {
+	d := gpu.NewDevice1()
+	q := NewQueue(d, 0)
+	cq := NewCopyQueueOnTile(d, 0)
+
+	// Allocate before the kernel: driver allocations drain in-flight
+	// work, which would serialize the very overlap under test.
+	b := MallocDevice(d, 256)
+	busy := q.Submit(func(h *Handler) {
+		h.ParallelFor(&Kernel{
+			Range:   NDRange{Global: [3]int{1, 1, 1}},
+			Profile: gpu.KernelProfile{GlobalBytes: 1e9, Pattern: gpu.PatternUnitStride},
+		})
+	})
+	up := cq.CopyInGather([]*Buffer{b}, [][]uint64{make([]uint64, 256)}, nil)
+	if up.Done() >= busy.Done() {
+		t.Fatalf("copy-queue upload (done %v) must overlap the busy kernel (done %v)", up.Done(), busy.Done())
+	}
+	dependent := q.Submit(func(h *Handler) {
+		h.DependsOn(up)
+		h.ParallelFor(&Kernel{Range: NDRange{Global: [3]int{1, 1, 1}}})
+	})
+	if dependent.Done() <= up.Done() {
+		t.Fatal("kernel depending on the upload must complete after it")
+	}
+	down := cq.CopyOutScatter([][]uint64{make([]uint64, 256)}, []*Buffer{b}, nil, dependent)
+	if down.Done() <= dependent.Done() {
+		t.Fatal("download depending on the kernel must complete after it")
+	}
+}
+
+// TestConcurrentGatheredCopies drives gathered copies from several
+// goroutines on per-tile copy queues — the shape the scheduler's
+// worker pool produces — and is meaningful under -race: the simulator
+// must serialize its clock accounting internally.
+func TestConcurrentGatheredCopies(t *testing.T) {
+	d := gpu.NewDevice1()
+	const workers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			cq := NewCopyQueueOnTile(d, w%d.Spec.Tiles)
+			staging := make([]uint64, 512)
+			for i := 0; i < 50; i++ {
+				src := fillRandom(rng, 512)
+				b := MallocDevice(d, 512)
+				cq.CopyInGather([]*Buffer{b}, [][]uint64{src}, staging)
+				dst := make([]uint64, 512)
+				cq.CopyOutScatter([][]uint64{dst}, []*Buffer{b}, staging)
+				for j := range src {
+					if dst[j] != src[j] {
+						t.Errorf("worker %d iter %d word %d mismatch", w, i, j)
+						return
+					}
+				}
+				b.Free()
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -90,18 +90,29 @@
 //
 // # Cross-job kernel fusion
 //
-// Coalesced same-shape batches can additionally fuse their kernel
-// launches: with ServiceConfig.FuseKernels (or ClusterConfig's) set,
-// workers execute a batch step-at-a-time, gathering the k jobs'
-// polynomials at every op-chain step into one widened kernel launch —
-// one batched NTT view, one fused elementwise kernel — so launch and
-// submission overhead is paid once per step per batch instead of once
-// per job. Results are bit-for-bit identical to the unfused path; on
-// the standard benchmark stream simulated throughput roughly doubles
-// at MaxBatch >= 4 (see `make bench-fusion`):
+// Coalesced same-shape batches fuse their kernel launches (on by
+// default; ServiceConfig.FuseKernels = ToggleOff restores the
+// baseline): workers execute a batch step-at-a-time, gathering the k
+// jobs' polynomials at every op-chain step into one widened kernel
+// launch — one batched NTT view, one fused elementwise kernel — so
+// launch and submission overhead is paid once per step per batch
+// instead of once per job. Results are bit-for-bit identical to the
+// unfused path; on the standard benchmark stream simulated throughput
+// roughly doubles at MaxBatch >= 4 (see `make bench-fusion`).
+//
+// # Fused transfers and copy/compute overlap
+//
+// ServiceConfig.FuseTransfers extends fusion to the host-device
+// boundary: a batch's input uploads collapse into one gathered H2D
+// staging submission and its result downloads into one scattered D2H
+// (through a reusable pinned staging pool), both riding the simulated
+// device's per-tile copy engine so transfers overlap with compute,
+// and workers double-buffer one batch ahead — while batch k computes,
+// batch k+1's inputs upload, and finished results wait out their copy
+// while the next batch's kernels launch (see `make bench-transfer`):
 //
 //	svc := xehe.NewService(params, kit, xehe.Device1,
-//		xehe.ServiceConfig{Workers: 2, FuseKernels: true})
+//		xehe.ServiceConfig{Workers: 2, FuseTransfers: xehe.ToggleOn})
 //
 // The correctness of the concurrent and sharded paths is pinned by a
 // differential harness (internal/sched): randomized job chains must
@@ -382,8 +393,22 @@ type ClassStats = sched.ClassStats
 type Pending = sched.Future
 
 // ServiceStats snapshots the scheduler counters: jobs, batches,
-// coalescing, per-worker load and cache hit rates.
+// coalescing, fused kernel/transfer submissions, per-worker load and
+// cache hit rates.
 type ServiceStats = sched.Stats
+
+// Toggle is a three-state boolean knob for the Fuse* config fields:
+// the zero value (ToggleDefault) selects the knob's documented
+// default, so defaults can flip across releases while both states
+// stay reachable for baseline sweeps.
+type Toggle = sched.Toggle
+
+// The Toggle states.
+const (
+	ToggleDefault = sched.ToggleDefault
+	ToggleOn      = sched.ToggleOn
+	ToggleOff     = sched.ToggleOff
+)
 
 // ServiceConfig tunes the concurrent service. Zero values select
 // defaults: one worker per device tile, queue depth 8, batches of up
@@ -407,8 +432,23 @@ type ServiceConfig struct {
 	// overhead once per step per batch instead of once per job.
 	// Results are bit-for-bit identical either way; only throughput
 	// and launch counts change (see ServiceStats.FusedSteps). Default
-	// off. See ARCHITECTURE.md for the fusion data path.
-	FuseKernels bool
+	// ON (the fused path soaked bit-identical for a PR cycle); set
+	// ToggleOff for the unfused baseline. See ARCHITECTURE.md for the
+	// fusion data path.
+	FuseKernels Toggle
+	// FuseTransfers moves host<->device traffic off the kernel queues:
+	// a batch's input uploads become one gathered H2D staging
+	// submission and its result downloads one scattered D2H (through a
+	// reusable pinned staging pool), both riding the device's per-tile
+	// copy engine, and workers double-buffer — batch k+1's inputs
+	// upload while batch k computes, and finished results wait out
+	// their copy while the next batch's kernels launch. Composable
+	// with FuseKernels (fused kernels + fused transfers is the fastest
+	// configuration). Results are bit-for-bit identical either way
+	// (see ServiceStats.TransferBatches/BytesH2D/BytesD2H for the
+	// coalescing effectiveness). Default off. See ARCHITECTURE.md for
+	// the transfer pipeline.
+	FuseTransfers Toggle
 	// PendingCap bounds the pending queue (jobs accepted but not yet
 	// dispatched — the pool the QoS policy reorders); class admission
 	// shares are fractions of it. Default Workers*QueueDepth*MaxBatch.
@@ -444,16 +484,17 @@ func (sc ServiceConfig) schedConfig() sched.Config {
 		backend = *sc.Backend
 	}
 	return sched.Config{
-		Workers:     sc.Workers,
-		QueueDepth:  sc.QueueDepth,
-		MaxBatch:    sc.MaxBatch,
-		FuseKernels: sc.FuseKernels,
-		PendingCap:  sc.PendingCap,
-		Classes:     sc.Classes,
-		Policy:      sc.Policy,
-		Aging:       sc.Aging,
-		WarmBuffers: sc.WarmBuffers,
-		Core:        backend,
+		Workers:       sc.Workers,
+		QueueDepth:    sc.QueueDepth,
+		MaxBatch:      sc.MaxBatch,
+		FuseKernels:   sc.FuseKernels,
+		FuseTransfers: sc.FuseTransfers,
+		PendingCap:    sc.PendingCap,
+		Classes:       sc.Classes,
+		Policy:        sc.Policy,
+		Aging:         sc.Aging,
+		WarmBuffers:   sc.WarmBuffers,
+		Core:          backend,
 	}
 }
 
