@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-record clean
+.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-graph bench-record clean
 
 all: build test
 
@@ -58,10 +58,18 @@ bench-fusion:
 bench-transfer:
 	$(GO) run ./cmd/xehe-bench -transfer 50 -json
 
+# Job-graph residency smoke: the chained-vs-graph sweep as JSON rows
+# (chains linked by InputFrom vs host round-trips, fused transfers on).
+# The sweep itself exits non-zero if the two modes' results are not
+# bit-identical, so a regression in the device-resident hand-off (or
+# its byte-counter contract) fails CI quickly.
+bench-graph:
+	$(GO) run ./cmd/xehe-bench -graph 48 -json
+
 # Record the bench trajectory: the standard 500-job cluster + mixed
-# QoS + fusion + transfer sweep, machine-readable, written to the repo
-# root (CI uploads it as an artifact so the trajectory is preserved
-# per commit).
+# QoS + fusion + transfer + graph-residency sweep, machine-readable,
+# written to the repo root (CI uploads it as an artifact so the
+# trajectory is preserved per commit).
 bench-record:
 	$(GO) run ./cmd/xehe-bench -cluster 500 -json > BENCH_cluster.json
 	@wc -l BENCH_cluster.json

@@ -31,7 +31,8 @@ func main() {
 	cluster := flag.Int("cluster", 0, "run the multi-device cluster throughput sweep with this many jobs per configuration")
 	fusion := flag.Int("fusion", 0, "run the fused-vs-unfused kernel fusion sweep with this many jobs per configuration")
 	transfer := flag.Int("transfer", 0, "run the fused-transfer (copy/compute overlap) sweep with this many jobs per configuration")
-	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion/-transfer results as machine-readable JSON instead of tables")
+	graph := flag.Int("graph", 0, "run the job-graph residency sweep (chained jobs via InputFrom vs host round-trips) with this many jobs per configuration")
+	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion/-transfer/-graph results as machine-readable JSON instead of tables")
 	flag.Parse()
 
 	if *service > 0 {
@@ -50,6 +51,12 @@ func main() {
 	}
 	if *transfer > 0 {
 		if results := transferSweep(*transfer, *jsonOut); *jsonOut {
+			emitResults(results)
+		}
+		return
+	}
+	if *graph > 0 {
+		if results := graphSweep(*graph, *jsonOut); *jsonOut {
 			emitResults(results)
 		}
 		return
@@ -127,17 +134,22 @@ type throughputResult struct {
 	UnfusedSteps  int64   `json:"unfused_steps,omitempty"` // op-chain steps launched once per job
 	// Transfer-path counters (the -transfer sweep): gathered staging
 	// submissions and the bytes they moved each way.
-	TransferBatches int64   `json:"transfer_batches,omitempty"`
-	BytesH2D        int64   `json:"bytes_h2d,omitempty"`
-	BytesD2H        int64   `json:"bytes_d2h,omitempty"`
-	Routed          []int64 `json:"routed,omitempty"` // per-shard job counts (cluster only)
-	Stolen          []int64 `json:"stolen,omitempty"` // per-shard stolen-job counts (cluster only)
-	Class           string  `json:"class,omitempty"`  // per-class rows of the mixed sweep
-	P50Ms           float64 `json:"p50_sim_ms,omitempty"`
-	P99Ms           float64 `json:"p99_sim_ms,omitempty"`
-	DeadlineHit     int64   `json:"deadline_hit,omitempty"`
-	DeadlineMiss    int64   `json:"deadline_miss,omitempty"`
-	Rejected        int64   `json:"rejected,omitempty"`
+	TransferBatches int64 `json:"transfer_batches,omitempty"`
+	BytesH2D        int64 `json:"bytes_h2d,omitempty"`
+	BytesD2H        int64 `json:"bytes_d2h,omitempty"`
+	// Graph-residency counters (the -graph sweep): consumer jobs, and
+	// producer→consumer edges resolved on-device vs through the host.
+	GraphJobs      int64   `json:"graph_jobs,omitempty"`
+	ResidentHits   int64   `json:"resident_hits,omitempty"`
+	ResidentMisses int64   `json:"resident_misses,omitempty"`
+	Routed         []int64 `json:"routed,omitempty"` // per-shard job counts (cluster only)
+	Stolen         []int64 `json:"stolen,omitempty"` // per-shard stolen-job counts (cluster only)
+	Class          string  `json:"class,omitempty"`  // per-class rows of the mixed sweep
+	P50Ms          float64 `json:"p50_sim_ms,omitempty"`
+	P99Ms          float64 `json:"p99_sim_ms,omitempty"`
+	DeadlineHit    int64   `json:"deadline_hit,omitempty"`
+	DeadlineMiss   int64   `json:"deadline_miss,omitempty"`
+	Rejected       int64   `json:"rejected,omitempty"`
 }
 
 func emitResults(results []throughputResult) {
@@ -290,6 +302,7 @@ func clusterThroughput(jobs int, jsonOut bool) {
 	results = append(results, mixedWorkload(jobs, jsonOut)...)
 	results = append(results, fusionSweep(jobs, jsonOut)...)
 	results = append(results, transferSweep(jobs, jsonOut)...)
+	results = append(results, graphSweep(jobs, jsonOut)...)
 	if jsonOut {
 		emitResults(results)
 	}
@@ -436,6 +449,180 @@ func transferSweep(jobs int, jsonOut bool) []throughputResult {
 				r.TransferBatches, float64(r.BytesH2D)/1e6, float64(r.BytesD2H)/1e6)
 		}
 		cl.Close()
+	}
+	return results
+}
+
+// graphDepth is the chain length of the -graph sweep: one producer job
+// (MulRelinRS + Rotate) followed by graphDepth-1 rotate-add rounds.
+const graphDepth = 4
+
+// buildRoundHost is one reduction round over a host ciphertext (the
+// round-trip baseline re-uploads the previous round's downloaded
+// result).
+func buildRoundHost(ct *xehe.Ciphertext) *xehe.Job {
+	job := xehe.NewJob(ct) // value 0
+	r := job.Rotate(0, 1)  // value 1
+	job.Add(0, r)          // value 2: output
+	return job
+}
+
+// buildRoundGraph is the same round consuming the previous job's
+// output device-resident via InputFrom.
+func buildRoundGraph(prev *xehe.Pending) *xehe.Job {
+	job := xehe.NewJob()
+	v := job.InputFrom(prev) // value 0
+	r := job.Rotate(v, 1)    // value 1
+	job.Add(v, r)            // value 2: output
+	return job
+}
+
+// ctsBitEqual reports whether two ciphertexts are bit-for-bit equal.
+func ctsBitEqual(a, b *xehe.Ciphertext) bool {
+	if a == nil || b == nil || len(a.Value) != len(b.Value) ||
+		a.Level != b.Level || a.Scale != b.Scale {
+		return false
+	}
+	for i := range a.Value {
+		if !a.Value[i].Equal(b.Value[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// graphSweep is the job-graph residency sweep: `jobs` total jobs form
+// chains of graphDepth (one MulRelinRS+Rotate producer, then rotate-add
+// rounds), run on one Device1 service with fused transfers on so every
+// byte over PCIe is counted. The "chained" baseline downloads each
+// round's result and re-uploads it for the next round; the "graph"
+// mode links the rounds with InputFrom, so intermediates stay
+// device-resident and only the chain tails are downloaded. The
+// acceptance contract: graph mode moves strictly fewer BytesH2D +
+// BytesD2H at bit-identical final results.
+func graphSweep(jobs int, jsonOut bool) []throughputResult {
+	params, kit, cta, ctb := benchInputs()
+	chains := jobs / graphDepth
+	if chains < 1 {
+		chains = 1
+	}
+	total := chains * graphDepth
+	var results []throughputResult
+	if !jsonOut {
+		fmt.Printf("\njob-graph residency sweep (%d chains x depth %d, MulRelinRS+Rotate head + rotate-add rounds, transfers fused, on Device1)\n\n", chains, graphDepth)
+		fmt.Printf("%-10s %8s %12s %14s %10s %12s %12s %8s %8s\n",
+			"config", "jobs", "jobs/sec", "sim-jobs/sec", "graph-jobs", "MB-h2d", "MB-d2h", "res-hit", "res-miss")
+	}
+
+	run := func(name string, exec func(svc *xehe.Service) []*xehe.Ciphertext) ([]*xehe.Ciphertext, throughputResult) {
+		svc := xehe.NewService(params, kit, xehe.Device1,
+			xehe.ServiceConfig{WarmBuffers: 32, FuseTransfers: xehe.ToggleOn})
+		defer svc.Close()
+		// Warm the cache, then reset clocks and counter baselines.
+		for i := 0; i < 8; i++ {
+			if _, err := svc.Submit(buildJob(cta, ctb)); err != nil {
+				fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		svc.Wait()
+		svc.ResetSimClocks()
+		warm := svc.Stats()
+		start := time.Now()
+		tails := exec(svc)
+		svc.Wait()
+		wall := time.Since(start).Seconds()
+		st := svc.Stats()
+		r := throughputResult{
+			Bench: "graph", Config: name, Devices: 1, Jobs: total,
+			JobsPerSec:     float64(total) / wall,
+			SimJobsPerSec:  float64(total) / svc.SimulatedSeconds(),
+			Batches:        st.Batches - warm.Batches,
+			BytesH2D:       st.BytesH2D - warm.BytesH2D,
+			BytesD2H:       st.BytesD2H - warm.BytesD2H,
+			GraphJobs:      st.GraphJobs - warm.GraphJobs,
+			ResidentHits:   st.ResidentHits - warm.ResidentHits,
+			ResidentMisses: st.ResidentMisses - warm.ResidentMisses,
+		}
+		return tails, r
+	}
+
+	wait := func(f *xehe.Pending) *xehe.Ciphertext {
+		ct, err := f.Wait()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wait: %v\n", err)
+			os.Exit(1)
+		}
+		return ct
+	}
+	submit := func(svc *xehe.Service, job *xehe.Job) *xehe.Pending {
+		f, err := svc.Submit(job)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+			os.Exit(1)
+		}
+		return f
+	}
+
+	// Baseline: every chain link round-trips through the host. Rounds
+	// run synchronously across all chains so the device still sees
+	// chain-parallel work.
+	chainedTails, chainedRow := run("chained", func(svc *xehe.Service) []*xehe.Ciphertext {
+		cts := make([]*xehe.Ciphertext, chains)
+		futs := make([]*xehe.Pending, chains)
+		for c := range futs {
+			futs[c] = submit(svc, buildJob(cta, ctb))
+		}
+		for c := range futs {
+			cts[c] = wait(futs[c])
+		}
+		for round := 1; round < graphDepth; round++ {
+			for c := range futs {
+				futs[c] = submit(svc, buildRoundHost(cts[c]))
+			}
+			for c := range futs {
+				cts[c] = wait(futs[c])
+			}
+		}
+		return cts
+	})
+
+	// Graph mode: rounds chain through InputFrom; only tails download.
+	graphTails, graphRow := run("graph", func(svc *xehe.Service) []*xehe.Ciphertext {
+		futs := make([]*xehe.Pending, chains)
+		for c := range futs {
+			futs[c] = submit(svc, buildJob(cta, ctb))
+			for round := 1; round < graphDepth; round++ {
+				futs[c] = submit(svc, buildRoundGraph(futs[c]))
+			}
+		}
+		cts := make([]*xehe.Ciphertext, chains)
+		for c := range futs {
+			cts[c] = wait(futs[c])
+		}
+		return cts
+	})
+
+	// Equal results: the two modes must agree bit-for-bit per chain.
+	for c := range chainedTails {
+		if !ctsBitEqual(chainedTails[c], graphTails[c]) {
+			fmt.Fprintf(os.Stderr, "graph sweep: chain %d results differ between chained and graph modes\n", c)
+			os.Exit(1)
+		}
+	}
+
+	for _, r := range []throughputResult{chainedRow, graphRow} {
+		results = append(results, r)
+		if !jsonOut {
+			fmt.Printf("%-10s %8d %12.1f %14.0f %10d %12.1f %12.1f %8d %8d\n",
+				r.Config, r.Jobs, r.JobsPerSec, r.SimJobsPerSec, r.GraphJobs,
+				float64(r.BytesH2D)/1e6, float64(r.BytesD2H)/1e6, r.ResidentHits, r.ResidentMisses)
+		}
+	}
+	if !jsonOut {
+		saved := (chainedRow.BytesH2D + chainedRow.BytesD2H) - (graphRow.BytesH2D + graphRow.BytesD2H)
+		fmt.Printf("\nPCIe bytes saved by device-resident edges: %.1f MB (%.0f%%), results bit-identical\n",
+			float64(saved)/1e6, 100*float64(saved)/float64(chainedRow.BytesH2D+chainedRow.BytesD2H))
 	}
 	return results
 }

@@ -154,6 +154,22 @@ func (c *Context) PipelineAfter(evs ...gpu.Event) {
 	c.deps = append([]gpu.Event(nil), evs...)
 }
 
+// DependOn appends events to the pipeline tail without replacing it:
+// subsequent submissions are ordered after them too. The scheduler
+// uses it to chain a consumer job's kernels behind the producer
+// events of its device-resident inputs.
+func (c *Context) DependOn(evs ...gpu.Event) {
+	c.deps = append(c.deps, evs...)
+}
+
+// Deps returns a copy of the context's current pipeline tail. The
+// scheduler captures it when retaining a job's output device-resident,
+// so consumers on other queues can order their work after the
+// producer's chain.
+func (c *Context) Deps() []gpu.Event {
+	return append([]gpu.Event(nil), c.deps...)
+}
+
 // allocPoly obtains a device-backed polynomial through the memory
 // cache (or the raw driver when the cache is disabled).
 func (c *Context) allocPoly(components int) (*poly.Poly, *sycl.Buffer) {
@@ -170,6 +186,24 @@ func (c *Context) freePoly(buf *sycl.Buffer) { c.Cache.Free(buf) }
 type Ciphertext struct {
 	CT   *ckks.Ciphertext
 	bufs []*sycl.Buffer
+	// borrowed marks an alias created by Borrow: its buffers are owned
+	// elsewhere (a device-resident job output pinned by the scheduler),
+	// so Free is a no-op on it.
+	borrowed bool
+}
+
+// Buffers returns the device buffers backing the ciphertext. The
+// scheduler pins them in the memory cache while the value is shared
+// between jobs as a device-resident intermediate.
+func (ct *Ciphertext) Buffers() []*sycl.Buffer { return ct.bufs }
+
+// Borrow returns an alias of ct whose Free is a no-op: the underlying
+// buffers stay owned by the original. Consumer jobs splice borrowed
+// aliases of device-resident producer outputs into their value lists,
+// so the batch executors' uniform free paths (including fused-fallback
+// recovery) never release a buffer other jobs still read.
+func Borrow(ct *Ciphertext) *Ciphertext {
+	return &Ciphertext{CT: ct.CT, bufs: ct.bufs, borrowed: true}
 }
 
 // Upload copies a host ciphertext into device buffers.
@@ -224,8 +258,13 @@ func (c *Context) DownloadAsync(ct *Ciphertext) (*ckks.Ciphertext, gpu.Event) {
 	return out, last
 }
 
-// Free returns the ciphertext's buffers to the cache.
+// Free returns the ciphertext's buffers to the cache. Freeing a
+// borrowed alias (see Borrow) is a no-op: ownership stays with the
+// original.
 func (c *Context) Free(ct *Ciphertext) {
+	if ct.borrowed {
+		return
+	}
 	for _, b := range ct.bufs {
 		c.freePoly(b)
 	}

@@ -26,6 +26,7 @@ type Cache struct {
 	mu   sync.Mutex
 	free []*entry // sorted by capacity (ascending)
 	used map[*sycl.Buffer]*entry
+	pins map[*sycl.Buffer]int
 
 	hits, misses int64
 }
@@ -39,7 +40,7 @@ type entry struct {
 // pass-through: every Malloc performs a driver allocation and every
 // Free releases it — the baseline configuration in Fig. 19.
 func New(dev *gpu.Device, enabled bool) *Cache {
-	return &Cache{dev: dev, enabled: enabled, used: map[*sycl.Buffer]*entry{}}
+	return &Cache{dev: dev, enabled: enabled, used: map[*sycl.Buffer]*entry{}, pins: map[*sycl.Buffer]int{}}
 }
 
 // Enabled reports whether buffer recycling is active.
@@ -81,11 +82,20 @@ func (c *Cache) Malloc(size int) *sycl.Buffer {
 // the used pool panics: it indicates a double free or a foreign buffer.
 func (c *Cache) Free(buf *sycl.Buffer) {
 	if !c.enabled {
+		c.mu.Lock()
+		if c.pins[buf] > 0 {
+			c.mu.Unlock()
+			panic("memcache: free of pinned buffer")
+		}
+		c.mu.Unlock()
 		buf.Free()
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.pins[buf] > 0 {
+		panic("memcache: free of pinned buffer")
+	}
 	e, ok := c.used[buf]
 	if !ok {
 		panic("memcache: free of unknown or already-freed buffer")
@@ -96,6 +106,51 @@ func (c *Cache) Free(buf *sycl.Buffer) {
 	c.free = append(c.free, nil)
 	copy(c.free[i+1:], c.free[i:])
 	c.free[i] = e
+}
+
+// Pin adds a reference to a live buffer, protecting it from Free: a
+// pinned buffer backs a device-resident intermediate shared between
+// jobs, and freeing it while consumers hold references would corrupt
+// their inputs. Free panics on a pinned buffer; call Unpin once per
+// Pin and the final Unpin recycles the buffer. Pinning a buffer the
+// cache does not consider live panics.
+func (c *Cache) Pin(buf *sycl.Buffer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.enabled {
+		if _, ok := c.used[buf]; !ok {
+			panic("memcache: pin of unknown or freed buffer")
+		}
+	}
+	c.pins[buf]++
+}
+
+// Unpin drops one reference from a pinned buffer. When the last
+// reference is dropped the buffer is recycled (to the free pool, or to
+// the driver with the cache disabled) and Unpin returns true.
+func (c *Cache) Unpin(buf *sycl.Buffer) bool {
+	c.mu.Lock()
+	n, ok := c.pins[buf]
+	if !ok {
+		c.mu.Unlock()
+		panic("memcache: unpin of unpinned buffer")
+	}
+	if n > 1 {
+		c.pins[buf] = n - 1
+		c.mu.Unlock()
+		return false
+	}
+	delete(c.pins, buf)
+	c.mu.Unlock()
+	c.Free(buf)
+	return true
+}
+
+// PinnedCount returns the number of distinct buffers currently pinned.
+func (c *Cache) PinnedCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pins)
 }
 
 // Warm pre-populates the free pool with n buffers of size words each,
@@ -162,10 +217,21 @@ func (c *Cache) ReleaseAll() int {
 	c.mu.Lock()
 	used := c.used
 	c.used = map[*sycl.Buffer]*entry{}
+	pins := c.pins
+	c.pins = map[*sycl.Buffer]int{}
 	c.mu.Unlock()
+	orphans := len(used)
 	for _, e := range used {
 		e.buf.Free()
 	}
+	if !c.enabled {
+		// With the cache disabled pinned buffers are tracked only in
+		// the pin map; reclaim them here so teardown balances.
+		for buf := range pins {
+			buf.Free()
+			orphans++
+		}
+	}
 	c.Release()
-	return len(used)
+	return orphans
 }

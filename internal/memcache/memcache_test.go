@@ -180,6 +180,82 @@ func TestQuickCacheInvariants(t *testing.T) {
 	}
 }
 
+func TestPinProtectsLiveBuffer(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	b := c.Malloc(256)
+	c.Pin(b)
+	c.Pin(b) // two consumers
+	if c.PinnedCount() != 1 {
+		t.Fatalf("pinned count = %d, want 1 distinct buffer", c.PinnedCount())
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Free of a pinned buffer did not panic")
+			}
+		}()
+		c.Free(b)
+	}()
+	if freed := c.Unpin(b); freed {
+		t.Fatal("first Unpin of two freed the buffer")
+	}
+	if freed := c.Unpin(b); !freed {
+		t.Fatal("last Unpin did not recycle the buffer")
+	}
+	if c.UsedCount() != 0 || c.FreeCount() != 1 || c.PinnedCount() != 0 {
+		t.Fatalf("after final unpin: used=%d free=%d pinned=%d, want 0/1/0",
+			c.UsedCount(), c.FreeCount(), c.PinnedCount())
+	}
+}
+
+func TestPinDisabledCache(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, false)
+	b := c.Malloc(128)
+	c.Pin(b)
+	if freed := c.Unpin(b); !freed {
+		t.Fatal("Unpin on a disabled cache did not release the buffer")
+	}
+	if live, _, _ := d.AllocStats(); live != 0 {
+		t.Fatalf("leak: %d live bytes after unpin with cache disabled", live)
+	}
+}
+
+func TestPinUnknownBufferPanics(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	b := c.Malloc(64)
+	c.Free(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pin of a freed buffer did not panic")
+		}
+	}()
+	c.Pin(b)
+}
+
+func TestReleaseAllReclaimsPinned(t *testing.T) {
+	d := gpu.NewDevice1()
+	c := New(d, true)
+	c.Pin(c.Malloc(256))
+	if got := c.ReleaseAll(); got != 1 {
+		t.Fatalf("ReleaseAll reclaimed %d, want 1 (the pinned orphan)", got)
+	}
+	if c.PinnedCount() != 0 {
+		t.Fatalf("pins survived ReleaseAll")
+	}
+	if live, _, _ := d.AllocStats(); live != 0 {
+		t.Fatalf("leak: %d live bytes", live)
+	}
+
+	off := New(gpu.NewDevice2(), false)
+	off.Pin(off.Malloc(64))
+	if got := off.ReleaseAll(); got != 1 {
+		t.Fatalf("disabled-cache ReleaseAll reclaimed %d, want 1", got)
+	}
+}
+
 func TestReleaseAllReclaimsOrphans(t *testing.T) {
 	d := gpu.NewDevice1()
 	c := New(d, true)

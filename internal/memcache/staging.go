@@ -5,6 +5,17 @@ import (
 	"sync"
 )
 
+// Default retention bounds for the staging pool. Pinned host memory is
+// a scarce OS-level resource (page-locked allocations count against
+// mlock limits), so the pool keeps a bounded working set instead of
+// retaining every buffer ever returned: at most DefaultMaxBuffers
+// buffers and DefaultMaxWords total words. Buffers returned beyond
+// either bound are dropped to the allocator and counted as discards.
+const (
+	DefaultMaxBuffers = 64
+	DefaultMaxWords   = 1 << 26 // 64M words = 512 MiB of pinned staging
+)
+
 // StagingPool recycles host staging buffers for gathered host<->device
 // transfers (sycl.CopyInGather/CopyOutScatter). On real hardware these
 // are pinned (page-locked) allocations — mandatory for asynchronous
@@ -12,20 +23,65 @@ import (
 // small working set across batch waves instead of allocating per
 // transfer. Like the device cache, reuse is best-fit: Get returns the
 // smallest free buffer that holds the request, growing the pool only
-// on a miss. All methods are safe for concurrent use.
+// on a miss. Fresh allocations are rounded up to the next power-of-two
+// size class so ragged batch tails land in reusable classes rather
+// than minting one-off sizes, and retention is bounded (see
+// DefaultMaxBuffers/DefaultMaxWords). All methods are safe for
+// concurrent use.
 type StagingPool struct {
-	mu     sync.Mutex
-	free   [][]uint64 // sorted by capacity (ascending)
-	gets   int64
-	reuses int64
+	mu       sync.Mutex
+	free     [][]uint64 // sorted by capacity (ascending)
+	words    int        // total capacity pooled, in words
+	maxBufs  int
+	maxWords int
+	gets     int64
+	reuses   int64
+	discards int64
 }
 
-// NewStagingPool creates an empty staging pool.
-func NewStagingPool() *StagingPool { return &StagingPool{} }
+// NewStagingPool creates an empty staging pool with the default
+// retention bounds.
+func NewStagingPool() *StagingPool {
+	return &StagingPool{maxBufs: DefaultMaxBuffers, maxWords: DefaultMaxWords}
+}
+
+// SetCapacity overrides the retention bounds: at most maxBufs pooled
+// buffers and maxWords total pooled words. Values <= 0 leave the
+// corresponding bound unchanged. Buffers already pooled beyond the new
+// bounds are dropped immediately and counted as discards.
+func (p *StagingPool) SetCapacity(maxBufs, maxWords int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if maxBufs > 0 {
+		p.maxBufs = maxBufs
+	}
+	if maxWords > 0 {
+		p.maxWords = maxWords
+	}
+	// Shed largest-first until back under both bounds.
+	for len(p.free) > 0 && (len(p.free) > p.maxBufs || p.words > p.maxWords) {
+		last := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		p.words -= cap(last)
+		p.discards++
+	}
+}
+
+// sizeClass rounds a requested word count up to the next power of two,
+// so near-miss sizes (a 9-row wave after an 8-row one) share a class
+// and reuse each other's buffers instead of minting one-off sizes.
+func sizeClass(size int) int {
+	c := 1
+	for c < size {
+		c <<= 1
+	}
+	return c
+}
 
 // Get returns a staging buffer of exactly size words, reusing the
 // smallest pooled buffer with sufficient capacity or allocating a
-// fresh one on a miss.
+// fresh one on a miss. Fresh allocations are rounded up to the next
+// power-of-two size class.
 func (p *StagingPool) Get(size int) []uint64 {
 	p.mu.Lock()
 	p.gets++
@@ -33,32 +89,41 @@ func (p *StagingPool) Get(size int) []uint64 {
 	if i < len(p.free) {
 		buf := p.free[i]
 		p.free = append(p.free[:i], p.free[i+1:]...)
+		p.words -= cap(buf)
 		p.reuses++
 		p.mu.Unlock()
 		return buf[:size]
 	}
 	p.mu.Unlock()
-	return make([]uint64, size)
+	return make([]uint64, size, sizeClass(size))
 }
 
 // Put returns a buffer to the pool for reuse. Contents are not
-// cleared; every Get fully overwrites the staging area it uses.
+// cleared; every Get fully overwrites the staging area it uses. If
+// accepting the buffer would exceed the pool's retention bounds it is
+// dropped instead and counted as a discard.
 func (p *StagingPool) Put(buf []uint64) {
 	if cap(buf) == 0 {
 		return
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if len(p.free) >= p.maxBufs || p.words+cap(buf) > p.maxWords {
+		p.discards++
+		return
+	}
 	i := sort.Search(len(p.free), func(i int) bool { return cap(p.free[i]) >= cap(buf) })
 	p.free = append(p.free, nil)
 	copy(p.free[i+1:], p.free[i:])
 	p.free[i] = buf
+	p.words += cap(buf)
 }
 
 // Warm pre-populates the pool with n buffers of size words each, so
 // the first transfer waves never allocate. Warm buffers count as
 // reuses when handed out, mirroring Cache.Warm staying out of the
-// miss statistics.
+// miss statistics. Warm respects the retention bounds: buffers beyond
+// the cap are not created.
 func (p *StagingPool) Warm(n, size int) {
 	if n <= 0 || size <= 0 {
 		return
@@ -68,12 +133,13 @@ func (p *StagingPool) Warm(n, size int) {
 	}
 }
 
-// Stats returns how many buffers were requested and how many of those
-// requests were served from the pool.
-func (p *StagingPool) Stats() (gets, reuses int64) {
+// Stats returns how many buffers were requested, how many of those
+// requests were served from the pool, and how many returned buffers
+// were dropped because the pool was at capacity.
+func (p *StagingPool) Stats() (gets, reuses, discards int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.gets, p.reuses
+	return p.gets, p.reuses, p.discards
 }
 
 // FreeCount returns the number of buffers currently pooled.
@@ -81,4 +147,11 @@ func (p *StagingPool) FreeCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return len(p.free)
+}
+
+// FreeWords returns the total pooled capacity in words.
+func (p *StagingPool) FreeWords() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.words
 }

@@ -13,7 +13,7 @@ func TestStagingPoolReuse(t *testing.T) {
 	}
 	p.Put(a)
 	b := p.Get(512) // best fit: the 1024-cap buffer serves it
-	if gets, reuses := p.Stats(); gets != 2 || reuses != 1 {
+	if gets, reuses, _ := p.Stats(); gets != 2 || reuses != 1 {
 		t.Fatalf("stats = %d gets / %d reuses, want 2/1", gets, reuses)
 	}
 	if len(b) != 512 || cap(b) != 1024 {
@@ -39,7 +39,7 @@ func TestStagingPoolBestFit(t *testing.T) {
 	if cap(big) != 4096 {
 		t.Fatalf("oversized request got cap %d, want a fresh 4096", cap(big))
 	}
-	if _, reuses := p.Stats(); reuses != 1 {
+	if _, reuses, _ := p.Stats(); reuses != 1 {
 		t.Fatalf("reuses = %d, want 1", reuses)
 	}
 }
@@ -51,8 +51,81 @@ func TestStagingPoolWarm(t *testing.T) {
 		t.Fatalf("free count after Warm = %d, want 3", p.FreeCount())
 	}
 	p.Get(1024)
-	if gets, reuses := p.Stats(); gets != 1 || reuses != 1 {
+	if gets, reuses, _ := p.Stats(); gets != 1 || reuses != 1 {
 		t.Fatalf("warmed buffers must count as reuses when handed out (got %d/%d)", gets, reuses)
+	}
+}
+
+// TestStagingPoolBoundedRetention cycles many distinct sizes through
+// the pool and asserts the free set stays bounded: before the
+// retention cap every returned buffer was pooled forever, so a
+// long-running mixed-size transfer workload stranded an ever-growing
+// set of pinned staging buffers.
+func TestStagingPoolBoundedRetention(t *testing.T) {
+	p := NewStagingPool()
+	p.SetCapacity(8, 1<<20)
+	for i := 1; i <= 500; i++ {
+		buf := p.Get(1000*i + 1) // distinct size classes force misses
+		p.Put(buf)
+	}
+	if n := p.FreeCount(); n > 8 {
+		t.Fatalf("free count = %d after 500 distinct sizes, want <= 8", n)
+	}
+	if _, _, discards := p.Stats(); discards == 0 {
+		t.Fatalf("discard counter never advanced despite bounded pool")
+	}
+	if w := p.FreeWords(); w > 1<<20 {
+		t.Fatalf("pooled words = %d, want <= %d", w, 1<<20)
+	}
+}
+
+// TestStagingPoolWordBound caps total pooled words independently of
+// the buffer count.
+func TestStagingPoolWordBound(t *testing.T) {
+	p := NewStagingPool()
+	p.SetCapacity(64, 4096)
+	p.Put(make([]uint64, 4096))
+	p.Put(make([]uint64, 1)) // would push words over the cap
+	if n := p.FreeCount(); n != 1 {
+		t.Fatalf("free count = %d, want 1 (word cap must reject the second buffer)", n)
+	}
+	if _, _, discards := p.Stats(); discards != 1 {
+		t.Fatalf("discards = %d, want 1", discards)
+	}
+}
+
+// TestStagingPoolSetCapacitySheds shrinks the bounds below the live
+// pool and asserts the excess is dropped immediately.
+func TestStagingPoolSetCapacitySheds(t *testing.T) {
+	p := NewStagingPool()
+	p.Warm(10, 256)
+	p.SetCapacity(3, 0)
+	if n := p.FreeCount(); n != 3 {
+		t.Fatalf("free count = %d after shrink, want 3", n)
+	}
+	if _, _, discards := p.Stats(); discards != 7 {
+		t.Fatalf("discards = %d, want 7", discards)
+	}
+}
+
+// TestStagingPoolSizeClassReuse reproduces the ragged-tail miss
+// pattern: a 9-row wave after an 8-row wave. With exact-size
+// allocation the 9-row Get could never reuse the 8-row buffer and
+// minted a 9-row one-off; class rounding allocates the 8-row buffer at
+// the 16-row class so the 9-row request reuses it.
+func TestStagingPoolSizeClassReuse(t *testing.T) {
+	p := NewStagingPool()
+	a := p.Get(9) // fresh: rounded up to the 16-word class
+	if cap(a) != 16 {
+		t.Fatalf("fresh allocation cap = %d, want size class 16", cap(a))
+	}
+	p.Put(a)
+	b := p.Get(12) // near miss above 9: served by the same class
+	if cap(b) != 16 {
+		t.Fatalf("ragged tail not served from pool (cap=%d)", cap(b))
+	}
+	if _, reuses, _ := p.Stats(); reuses != 1 {
+		t.Fatalf("reuses = %d, want 1: class rounding must enable ragged-tail reuse", reuses)
 	}
 }
 
@@ -76,7 +149,7 @@ func TestStagingPoolConcurrent(t *testing.T) {
 		}(w)
 	}
 	wg.Wait()
-	if gets, _ := p.Stats(); gets != 1600 {
+	if gets, _, _ := p.Stats(); gets != 1600 {
 		t.Fatalf("gets = %d, want 1600", gets)
 	}
 }

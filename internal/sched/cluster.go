@@ -160,6 +160,31 @@ func pickExpectedWait(work []float64, cost float64, weights []float64, open []bo
 	return best
 }
 
+// affinity returns the shard holding a device-resident output the job
+// depends on, if that shard is still open and not skipped. Routing a
+// consumer to its producer's shard turns the dependency edge into a
+// zero-copy borrow; any other placement rematerializes the value
+// through the host. The first dependency with a known home wins (a
+// consumer of producers on different shards can only be local to one
+// of them anyway).
+func (c *Cluster) affinity(job *Job, skip map[int]bool) *shard {
+	for _, f := range job.Deps {
+		if f == nil {
+			continue
+		}
+		id := atomic.LoadInt32(&f.shard)
+		if id < 0 || int(id) >= len(c.shards) {
+			continue
+		}
+		sh := c.shards[id]
+		if sh.closed.Load() || skip[sh.id] {
+			continue
+		}
+		return sh
+	}
+	return nil
+}
+
 // pick routes one job, or returns nil when no open shard remains in
 // skip. Shards in skip (already tried and found overloaded for this
 // job's class) are excluded.
@@ -213,7 +238,10 @@ func (c *Cluster) Submit(job *Job) (*Future, error) {
 	var skip map[int]bool
 	overloaded := false
 	for {
-		sh := c.pick(job, skip)
+		sh := c.affinity(job, skip)
+		if sh == nil {
+			sh = c.pick(job, skip)
+		}
 		if sh == nil {
 			if overloaded {
 				c.rejected[job.Class].Add(1)
@@ -240,6 +268,9 @@ func (c *Cluster) Submit(job *Job) (*Future, error) {
 		}
 		if err == nil {
 			sh.routed.Add(1)
+			// Record the output's home for downstream consumers'
+			// affinity routing.
+			atomic.StoreInt32(&fut.shard, int32(sh.id))
 		}
 		return fut, err
 	}
@@ -454,6 +485,9 @@ func (c *Cluster) Stats() ClusterStats {
 		cs.StolenOut += st.StolenOut
 		cs.CacheHits += st.CacheHits
 		cs.CacheMisses += st.CacheMisses
+		cs.GraphJobs += st.GraphJobs
+		cs.ResidentHits += st.ResidentHits
+		cs.ResidentMisses += st.ResidentMisses
 		if st.MaxBatch > cs.MaxBatch {
 			cs.MaxBatch = st.MaxBatch
 		}

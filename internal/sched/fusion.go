@@ -19,38 +19,7 @@ import (
 	"xehe/internal/core"
 )
 
-// evalChainFused uploads every job's inputs and submits the batch's
-// shared op chain step-at-a-time, each step as one fused launch
-// sequence across all jobs, without host synchronization. It returns
-// the per-job device value lists (inputs + intermediates; the last
-// entry is each job's result). On panic every allocation made so far
-// is recycled and an error describing the failing step is returned —
-// per-job attribution is impossible mid-fusion, so the caller falls
-// back to the job-at-a-time path to isolate the offender.
-func evalChainFused(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, jobs []*Job) (vals [][]*core.Ciphertext, err error) {
-	ins := make([][]*core.Ciphertext, len(jobs))
-	defer func() {
-		if r := recover(); r != nil {
-			for _, vs := range ins {
-				for _, v := range vs {
-					if v != nil {
-						c.Free(v)
-					}
-				}
-			}
-			vals = nil
-			err = fmt.Errorf("sched: fused batch input upload panicked: %v", r)
-		}
-	}()
-	for j, job := range jobs {
-		for _, in := range job.Inputs {
-			ins[j] = append(ins[j], c.Upload(in))
-		}
-	}
-	return evalChainFusedOn(c, rlk, gks, jobs, ins)
-}
-
-// evalChainFusedOn is evalChainFused over already device-resident
+// evalChainFusedOn is the fused executor over already device-resident
 // inputs (the fused transfer pipeline ships them in one gathered
 // staging submission). It takes ownership of ins: on error every
 // value — inputs and intermediates — has been recycled.
@@ -115,22 +84,44 @@ func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.Gal
 // actually used.
 func (w *worker) stageFused(s *Scheduler, batch []*task) ([]*staged, bool) {
 	jobs := make([]*Job, len(batch))
+	ins := make([][]*core.Ciphertext, len(batch))
 	for i, t := range batch {
 		jobs[i] = t.job
-	}
-	vals, err := evalChainFused(w.ctx, s.rlk, s.gks, jobs)
-	if err != nil {
-		out := make([]*staged, len(batch))
-		for i, t := range batch {
-			out[i] = w.stage(s, t)
+		var err error
+		ins[i], err = w.stageIns(t)
+		if err != nil {
+			// Recycle the jobs already staged (borrowed dependency
+			// aliases free as no-ops) and isolate the offender on the
+			// job-at-a-time path.
+			for _, vs := range ins[:i] {
+				for _, v := range vs {
+					if v != nil {
+						w.ctx.Free(v)
+					}
+				}
+			}
+			return w.stageEach(s, batch), false
 		}
-		return out, false
+	}
+	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ins)
+	if err != nil {
+		return w.stageEach(s, batch), false
 	}
 	out := make([]*staged, len(batch))
 	for i, t := range batch {
 		out[i] = &staged{t: t, vals: vals[i]}
 	}
 	return out, true
+}
+
+// stageEach stages every job of the batch alone — the fused fallback,
+// restoring exact per-job error attribution.
+func (w *worker) stageEach(s *Scheduler, batch []*task) []*staged {
+	out := make([]*staged, len(batch))
+	for i, t := range batch {
+		out[i] = w.stage(s, t)
+	}
+	return out
 }
 
 // stageFusedOn is stageFused for a batch whose inputs are already
@@ -145,11 +136,7 @@ func (w *worker) stageFusedOn(s *Scheduler, ub *uploadedBatch) ([]*staged, bool)
 	}
 	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ub.ins)
 	if err != nil {
-		out := make([]*staged, len(ub.batch))
-		for i, t := range ub.batch {
-			out[i] = w.stage(s, t)
-		}
-		return out, false
+		return w.stageEach(s, ub.batch), false
 	}
 	out := make([]*staged, len(ub.batch))
 	for i, t := range ub.batch {

@@ -233,7 +233,11 @@ func TestFusedBatchOfOneMatchesUnfused(t *testing.T) {
 	ctx := core.NewContext(h.Params, gpu.NewDevice1(), cfg)
 	for fi, fam := range fusionFamilies {
 		job := familyJob(h, rng, fam)
-		vals, err := evalChainFused(ctx, h.RelinKey(), h.GaloisKeys(), []*Job{job})
+		ins := make([][]*core.Ciphertext, 1)
+		for _, in := range job.Inputs {
+			ins[0] = append(ins[0], ctx.Upload(in))
+		}
+		vals, err := evalChainFusedOn(ctx, h.RelinKey(), h.GaloisKeys(), []*Job{job}, ins)
 		if err != nil {
 			t.Fatalf("family %d: fused: %v", fi, err)
 		}

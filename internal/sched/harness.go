@@ -257,6 +257,139 @@ func (h *Harness) RunSerial(job *Job) (*ckks.Ciphertext, error) {
 	return h.serial.Download(vals[len(vals)-1]), nil
 }
 
+// RunSerialWith executes a job whose dependency slots are filled from
+// host ciphertexts (the producers' serial outputs) on the serial
+// reference context. Uploading a downloaded output is a bit-exact
+// round trip, so this is the reference semantics of a producer→consumer
+// graph edge: the scheduler's device-resident shortcut must reproduce
+// it exactly.
+func (h *Harness) RunSerialWith(job *Job, deps []*ckks.Ciphertext) (*ckks.Ciphertext, error) {
+	var ins []*core.Ciphertext
+	for _, in := range job.Inputs {
+		ins = append(ins, h.serial.Upload(in))
+	}
+	for _, d := range deps {
+		ins = append(ins, h.serial.Upload(d))
+	}
+	vals, err := evalChainOn(h.serial, h.rlk, h.gks, job, ins)
+	defer func() {
+		for _, v := range vals {
+			if v != nil {
+				h.serial.Free(v)
+			}
+		}
+	}()
+	if err != nil {
+		return nil, err
+	}
+	return h.serial.Download(vals[len(vals)-1]), nil
+}
+
+// GraphNode is one job of a randomized DAG: DepNodes lists the earlier
+// nodes whose outputs fill the job's dependency slots (in slot order —
+// the runner wires them with Job.InputFrom before submitting), Expected
+// is the plaintext model of the node's output, and Keep mirrors
+// Job.KeepOutput (the node's output must be host-retrievable even
+// though consumers exist).
+type GraphNode struct {
+	Job      *Job
+	DepNodes []int
+	Expected []complex128
+	Keep     bool
+}
+
+// GraphCase is a randomized job DAG in topological (submission) order,
+// plus per-node consumer counts (Consumers[i] is the number of later
+// nodes depending on node i; zero marks a sink whose output is always
+// downloaded).
+type GraphCase struct {
+	Nodes     []*GraphNode
+	Consumers []int
+}
+
+// RandomGraph builds a random DAG of nNodes jobs: each node draws 0-2
+// fresh encrypted inputs and (after the first) 1-2 dependency edges to
+// random earlier nodes, followed by a random applicable op chain, with
+// a third of the nodes also marked KeepOutput. The plaintext model is
+// evaluated alongside, so a differential runner can pin every node's
+// output — resident or downloaded — against both the serial context
+// and the model.
+func (h *Harness) RandomGraph(rng *rand.Rand, nNodes, maxOps int) *GraphCase {
+	slots := h.Params.Slots()
+	gc := &GraphCase{Consumers: make([]int, nNodes)}
+	var outs []genValue // per-node output model
+	for k := 0; k < nNodes; k++ {
+		node := &GraphNode{Job: &Job{}}
+		var vals []genValue
+		nIn := rng.Intn(3)
+		if k == 0 && nIn == 0 {
+			nIn = 1
+		}
+		for i := 0; i < nIn; i++ {
+			pt := make([]complex128, slots)
+			for j := range pt {
+				pt[j] = complex(rng.Float64()-0.5, rng.Float64()-0.5)
+			}
+			node.Job.Inputs = append(node.Job.Inputs, h.Encrypt(pt))
+			vals = append(vals, genValue{
+				meta: valueMeta{level: h.Params.MaxLevel(), scale: h.Params.Scale},
+				pt:   pt,
+			})
+		}
+		if k > 0 {
+			nDep := 1 + rng.Intn(2)
+			for i := 0; i < nDep; i++ {
+				p := rng.Intn(k)
+				node.DepNodes = append(node.DepNodes, p)
+				gc.Consumers[p]++
+				vals = append(vals, outs[p])
+			}
+		}
+		nOps := 1 + rng.Intn(maxOps)
+		for len(node.Job.Ops) < nOps {
+			op, ok := h.randomOp(rng, vals)
+			if !ok {
+				break
+			}
+			node.Job.Ops = append(node.Job.Ops, op)
+			vals = append(vals, applyModel(h.Params, vals, op, slots))
+		}
+		if len(node.Job.Ops) == 0 {
+			op := Op{Code: OpAdd, A: 0, B: 0}
+			node.Job.Ops = append(node.Job.Ops, op)
+			vals = append(vals, applyModel(h.Params, vals, op, slots))
+		}
+		if rng.Intn(3) == 0 {
+			node.Keep = true
+			node.Job.KeepOutput()
+		}
+		out := vals[len(vals)-1]
+		node.Expected = out.pt
+		outs = append(outs, out)
+		gc.Nodes = append(gc.Nodes, node)
+	}
+	return gc
+}
+
+// RunGraphSerial evaluates the DAG on the serial reference context in
+// topological order, feeding each node's downloaded output into its
+// consumers' dependency slots. It returns every node's host output.
+func (h *Harness) RunGraphSerial(gc *GraphCase) ([]*ckks.Ciphertext, error) {
+	outs := make([]*ckks.Ciphertext, len(gc.Nodes))
+	for k, node := range gc.Nodes {
+		deps := make([]*ckks.Ciphertext, len(node.DepNodes))
+		for i, p := range node.DepNodes {
+			deps[i] = outs[p]
+		}
+		out, err := h.RunSerialWith(node.Job, deps)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: %w", k, err)
+		}
+		outs[k] = out
+	}
+	return outs, nil
+}
+
 // SameCiphertext reports whether two ciphertexts are identical:
 // same level, scale and raw RNS coefficients. The simulated kernels
 // are deterministic, so the concurrent scheduler must reproduce the

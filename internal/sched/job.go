@@ -98,20 +98,29 @@ func (c OpCode) String() string {
 }
 
 // Op is one step of a job. A and B index the job's value list: entries
-// 0..len(Inputs)-1 are the inputs, entry len(Inputs)+i is the result of
-// op i. K is the rotation amount for OpRotate.
+// 0..len(Inputs)-1 are the host inputs, entries len(Inputs)..
+// len(Inputs)+len(Deps)-1 are the dependency inputs (outputs of other
+// jobs, see InputFrom), and entry len(Inputs)+len(Deps)+i is the
+// result of op i. K is the rotation amount for OpRotate.
 type Op struct {
 	Code OpCode
 	A, B int
 	K    int
 }
 
-// Job is an independent HE workload: encrypted inputs plus a chain (or
-// DAG) of evaluation ops over them. The result of the last op is the
-// job's output. Jobs are immutable once submitted.
+// Job is one HE workload: encrypted inputs plus a chain (or DAG) of
+// evaluation ops over them. The result of the last op is the job's
+// output. Inputs may be host ciphertexts or — via InputFrom — the
+// outputs of previously submitted jobs, forming a job graph whose
+// intermediate results stay device-resident. Jobs are immutable once
+// submitted.
 type Job struct {
 	Inputs []*ckks.Ciphertext
-	Ops    []Op
+	// Deps are dependency inputs: futures of previously submitted jobs
+	// whose outputs this job consumes. They occupy value indices
+	// len(Inputs)..len(Inputs)+len(Deps)-1, after the host inputs.
+	Deps []*Future
+	Ops  []Op
 	// Class is the QoS tier the job dispatches under (an index into
 	// the scheduler's class table; qos.Batch for the zero value, the
 	// blocking-backpressure bulk tier).
@@ -120,11 +129,34 @@ type Job struct {
 	// relative to submission; 0 means none. Deadline-aware policies
 	// (EDF) order by it, and per-class stats count hits and misses.
 	Deadline float64
+	// keep forces a host download of the output even when consumers
+	// exist (see KeepOutput).
+	keep bool
 }
 
 // NewJob starts a job over the given encrypted inputs.
 func NewJob(inputs ...*ckks.Ciphertext) *Job {
 	return &Job{Inputs: inputs, Class: qos.Batch}
+}
+
+// InputFrom adds the output of a previously submitted job as an input
+// and returns its value index. The producing job's output stays
+// device-resident until its last consumer finishes, so the edge costs
+// no PCIe traffic when both jobs run on the same shard. Producers must
+// be submitted before their consumers reference them (futures only
+// exist after Submit, so graphs are acyclic by construction).
+func (j *Job) InputFrom(f *Future) int {
+	j.Deps = append(j.Deps, f)
+	return len(j.Inputs) + len(j.Deps) - 1
+}
+
+// KeepOutput marks the job's output for host download even if other
+// jobs consume it. Without it, a consumed output skips the download
+// and its future's Wait materializes the result on demand (or reports
+// ErrResultDiscarded once the residency has been released). Chainable.
+func (j *Job) KeepOutput() *Job {
+	j.keep = true
+	return j
 }
 
 // WithClass sets the job's QoS class and returns the job (chainable).
@@ -146,7 +178,7 @@ func (j *Job) WithDeadline(d float64) *Job {
 // push appends an op and returns the value index of its result.
 func (j *Job) push(op Op) int {
 	j.Ops = append(j.Ops, op)
-	return len(j.Inputs) + len(j.Ops) - 1
+	return len(j.Inputs) + len(j.Deps) + len(j.Ops) - 1
 }
 
 // Add appends v[a] + v[b] and returns the result's value index.
@@ -185,13 +217,13 @@ type valueMeta struct {
 // (products, divided by the dropped modulus on rescale), so the Add
 // scale check here accepts exactly what would run cleanly.
 func (j *Job) trace(p *ckks.Parameters) ([]valueMeta, error) {
-	if len(j.Inputs) == 0 {
+	if len(j.Inputs)+len(j.Deps) == 0 {
 		return nil, fmt.Errorf("sched: job has no inputs")
 	}
 	if len(j.Ops) == 0 {
 		return nil, fmt.Errorf("sched: job has no ops")
 	}
-	metas := make([]valueMeta, 0, len(j.Inputs)+len(j.Ops))
+	metas := make([]valueMeta, 0, len(j.Inputs)+len(j.Deps)+len(j.Ops))
 	maxLevel := p.MaxLevel()
 	for i, in := range j.Inputs {
 		if in == nil || len(in.Value) == 0 {
@@ -216,6 +248,19 @@ func (j *Job) trace(p *ckks.Parameters) ([]valueMeta, error) {
 			}
 		}
 		metas = append(metas, valueMeta{level: in.Level, scale: in.Scale})
+	}
+	for i, f := range j.Deps {
+		if f == nil {
+			return nil, fmt.Errorf("sched: dependency input %d is nil", i)
+		}
+		m, err := f.outputMeta()
+		if err != nil {
+			return nil, fmt.Errorf("sched: dependency input %d: %w", i, err)
+		}
+		if m.level < 0 || m.level > maxLevel {
+			return nil, fmt.Errorf("sched: dependency input %d at level %d (parameters support 0..%d)", i, m.level, maxLevel)
+		}
+		metas = append(metas, m)
 	}
 	check := func(idx, have int) (valueMeta, error) {
 		if idx < 0 || idx >= have {
@@ -285,14 +330,26 @@ func (j *Job) Validate(p *ckks.Parameters) error {
 // sequence of kernel shapes (same NTT sizes, same component counts).
 // The dispatcher coalesces same-key jobs into one batch. Fields are
 // encoded in full (not truncated), so distinct rotation amounts or
-// operand indices never collide.
+// operand indices never collide. Dependency inputs are marked with a
+// distinct tag ('d' + output level), so a batch never mixes a host
+// input with a device-resident one at the same value index — the two
+// stage through different paths.
 func (j *Job) ShapeKey() string {
-	key := make([]byte, 0, 8+6*len(j.Inputs)+12*len(j.Ops))
+	key := make([]byte, 0, 8+6*(len(j.Inputs)+len(j.Deps))+12*len(j.Ops))
 	for _, in := range j.Inputs {
 		key = append(key, 'i')
 		key = strconv.AppendInt(key, int64(in.Level), 10)
 		key = append(key, ',')
 		key = strconv.AppendInt(key, int64(len(in.Value)), 10)
+		key = append(key, ';')
+	}
+	for _, f := range j.Deps {
+		key = append(key, 'd')
+		if m, err := f.outputMeta(); f != nil && err == nil {
+			key = strconv.AppendInt(key, int64(m.level), 10)
+		} else {
+			key = append(key, '?') // invalid dep; Submit will reject it
+		}
 		key = append(key, ';')
 	}
 	for _, op := range j.Ops {

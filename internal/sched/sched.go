@@ -209,20 +209,51 @@ type Stats struct {
 	PerClass               []ClassStats
 	StolenIn, StolenOut    int64 // jobs migrated in/out by work stealing
 	CacheHits, CacheMisses int64
+	// GraphJobs counts jobs submitted with at least one dependency
+	// input (Job.InputFrom). ResidentHits counts dependency edges
+	// resolved against a device-resident producer output (zero PCIe
+	// traffic for the edge); ResidentMisses counts edges that fell back
+	// to host rematerialization — producer on another shard, output
+	// already host-side, or a migration mid-graph.
+	GraphJobs      int64
+	ResidentHits   int64
+	ResidentMisses int64
 }
 
-// Future is the pending result of a submitted job.
+// Future is the pending result of a submitted job. It doubles as the
+// graph handle: later jobs reference its output via Job.InputFrom, and
+// a consumed output stays device-resident until its last consumer
+// finishes (graph.go holds the residency machinery).
 type Future struct {
 	done chan struct{}
 	res  *ckks.Ciphertext
 	err  error
+
+	// Graph state, guarded by mu (see graph.go).
+	mu        sync.Mutex
+	sub       bool            // job submitted; meta valid
+	keep      bool            // Job.KeepOutput: download even when consumed
+	meta      valueMeta       // output (level, scale) from the admission trace
+	consumers int             // consumers registered before settlement
+	settled   bool            // output fate decided (resident / host / error)
+	resident  *residentOutput // device-resident output, nil unless consumers exist
+	waiters   []func()        // dependency callbacks, run after completion
+	shard     int32           // cluster affinity hint (-1 when unknown)
 }
 
 // Wait blocks until the job has run and returns its output ciphertext
-// or execution error.
+// or execution error. If the output was left device-resident for
+// consumers (no KeepOutput), Wait materializes it with an on-demand
+// download while the residency is alive and returns
+// ErrResultDiscarded after the last consumer released it.
 func (f *Future) Wait() (*ckks.Ciphertext, error) {
 	<-f.done
-	return f.res, f.err
+	if f.err != nil {
+		return nil, f.err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.materializeLocked()
 }
 
 // Done returns a channel closed when the result is available.
@@ -238,12 +269,23 @@ type task struct {
 	class    int
 	enq      float64
 	deadline float64
+
+	// Dependency state (jobs with InputFrom edges). deps is parallel to
+	// job.Deps; entries are written under the scheduler's qmu as
+	// producers settle (or by migration, which owns the task
+	// exclusively) and read by the worker after dispatch. waitN counts
+	// unresolved producers (qmu); depErr records the first failed one.
+	deps   []depRes
+	waitN  int
+	depErr error
 }
 
 // work is the routing cost estimate of the task's job: uploads plus
 // kernel-chain ops. The cluster's expected-wait router divides the
 // outstanding sum by the device weight.
-func (t *task) work() float64 { return float64(len(t.job.Inputs) + len(t.job.Ops)) }
+func (t *task) work() float64 {
+	return float64(len(t.job.Inputs) + len(t.job.Deps) + len(t.job.Ops))
+}
 
 // latWindowCap bounds the per-class latency sample window: quantiles
 // are computed over the most recent completions, so a long-running
@@ -297,10 +339,11 @@ type Scheduler struct {
 	limits   []int      // per-class queued-job cap
 	rejects  []bool     // true: over-limit Submit sheds (ErrOverloaded)
 
-	qmu     sync.Mutex // guards queues/queued/lastEnq
+	qmu     sync.Mutex // guards queues/queued/waiting/lastEnq/task dep state
 	qcond   *sync.Cond // signals queue space freed (blocking Submit)
 	queues  [][]*task
 	queued  int     // total queued (not yet shipped to a worker)
+	waiting int     // accepted jobs parked on unresolved dependencies
 	lastEnq float64 // last enqueue stamp issued (monotonicity floor)
 
 	kick  chan struct{} // cap 1: work enqueued
@@ -325,6 +368,12 @@ type Scheduler struct {
 	outCond     *sync.Cond
 	outstanding int
 	outWork     float64 // work units of outstanding jobs (routing signal)
+
+	// matMu guards the lazily created materialization context used to
+	// download device-resident outputs on demand (Future.Wait on a
+	// consumed output, cross-shard rematerialization).
+	matMu  sync.Mutex
+	matCtx *core.Context
 }
 
 type worker struct {
@@ -423,22 +472,25 @@ func (s *Scheduler) Backend() Backend { return s.backend }
 func (s *Scheduler) Policy() string { return s.policy.Name() }
 
 // validate checks the job against the scheduler's parameters, key
-// material and class table.
-func (s *Scheduler) validate(job *Job) error {
-	if err := job.Validate(s.params); err != nil {
-		return err
+// material and class table, returning the traced value metas (the last
+// entry is the job's output meta, recorded on its future for
+// downstream consumers).
+func (s *Scheduler) validate(job *Job) ([]valueMeta, error) {
+	metas, err := job.trace(s.params)
+	if err != nil {
+		return nil, err
 	}
 	if job.Class < 0 || int(job.Class) >= len(s.classes) {
-		return fmt.Errorf("sched: job class %d out of range (scheduler has %d classes)", job.Class, len(s.classes))
+		return nil, fmt.Errorf("sched: job class %d out of range (scheduler has %d classes)", job.Class, len(s.classes))
 	}
 	for i, op := range job.Ops {
 		if op.Code == OpRotate {
 			if _, ok := s.gks[op.K]; !ok {
-				return fmt.Errorf("sched: op %d rotates by %d but the scheduler has no Galois key for it", i, op.K)
+				return nil, fmt.Errorf("sched: op %d rotates by %d but the scheduler has no Galois key for it", i, op.K)
 			}
 		}
 	}
-	return nil
+	return metas, nil
 }
 
 // Submit validates and enqueues a job, returning a Future for its
@@ -448,16 +500,21 @@ func (s *Scheduler) validate(job *Job) error {
 // ErrOverloaded for partial-share ones (load shedding); it returns
 // ErrClosed after Close.
 func (s *Scheduler) Submit(job *Job) (*Future, error) {
-	if err := s.validate(job); err != nil {
+	metas, err := s.validate(job)
+	if err != nil {
 		return nil, err
 	}
 	class := int(job.Class)
-	t := &task{job: job, fut: &Future{done: make(chan struct{})}, class: class}
+	t := &task{job: job, fut: newFuture(), class: class}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		return nil, ErrClosed
 	}
+	// The future becomes a graph handle the moment Submit returns:
+	// record the traced output meta (consumer validation reads it) and
+	// the retention flag before the job can possibly settle.
+	t.fut.markSubmitted(metas[len(metas)-1], job.keep)
 	// Count the job outstanding before it becomes visible to the
 	// dispatcher: once enqueued it can be dispatched and completed at
 	// any moment, and a late increment would let a concurrent Drain
@@ -467,7 +524,11 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 	s.outWork += t.work()
 	s.outMu.Unlock()
 	s.qmu.Lock()
-	if len(s.queues[class]) >= s.limits[class] {
+	// Admission control applies to dependency-free jobs only: a graph
+	// consumer was admitted together with its producers (rejecting or
+	// blocking it mid-graph would wedge work the producers already
+	// paid for), so it bypasses the class share like a stolen arrival.
+	if len(job.Deps) == 0 && len(s.queues[class]) >= s.limits[class] {
 		if s.rejects[class] {
 			s.qmu.Unlock()
 			s.outstandingAdd(-1, -t.work())
@@ -493,11 +554,23 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 	if job.Deadline > 0 {
 		t.deadline = t.enq + job.Deadline
 	}
-	s.enqueueLocked(t)
+	if len(job.Deps) == 0 {
+		s.enqueueLocked(t)
+	} else {
+		// Parked until every producer settles; depReady moves it into
+		// its class queue (or fails it) when the last one does.
+		s.waiting++
+	}
 	s.qmu.Unlock()
 	s.statMu.Lock()
 	s.classStat[class].Submitted++
+	if len(job.Deps) > 0 {
+		s.stats.GraphJobs++
+	}
 	s.statMu.Unlock()
+	if len(job.Deps) > 0 {
+		s.registerDeps(t)
+	}
 	s.wake(s.kick)
 	return t.fut, nil
 }
@@ -590,10 +663,19 @@ func (s *Scheduler) OutstandingWork() float64 {
 
 // QueuedJobs returns the jobs waiting in the class queues (accepted
 // but not yet dispatched to a worker) — the work-stealing signal.
+// Dependency-parked jobs are not included; they are not stealable.
 func (s *Scheduler) QueuedJobs() int {
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
 	return s.queued
+}
+
+// pendingJobs returns queued plus dependency-parked jobs — the
+// dispatcher's exit condition after Close.
+func (s *Scheduler) pendingJobs() int {
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	return s.queued + s.waiting
 }
 
 // outstandingAdd transfers outstanding-job accounting during a steal.
@@ -686,8 +768,11 @@ func (s *Scheduler) dispatch() {
 	stopc := s.stopc
 	for {
 		s.shipAll()
-		if stopc == nil && s.QueuedJobs() == 0 {
-			return // closed and flushed; workers drain their channels
+		if stopc == nil && s.pendingJobs() == 0 {
+			// Closed and flushed — including dependency-parked jobs,
+			// whose producers (possibly on other shards) complete
+			// before their schedulers tear down, so the count drains.
+			return // workers drain their channels
 		}
 		select {
 		case <-s.kick:
@@ -854,6 +939,12 @@ func (s *Scheduler) injectTasks(ts []*task) bool {
 	if s.closed {
 		return false
 	}
+	// Migrated tasks lose producer locality: any dependency resolved
+	// against a residency on another shard is rematerialized host-side
+	// now, so the destination worker uploads it like a plain input.
+	for _, t := range ts {
+		s.rehomeDeps(t)
+	}
 	now := s.backend.SimulatedSeconds()
 	var work float64
 	s.qmu.Lock()
@@ -877,11 +968,24 @@ func (s *Scheduler) injectTasks(ts []*task) bool {
 	return true
 }
 
-// staged is the device-side state of one job mid-batch.
+// staged is the device-side state of one job mid-batch. out is set
+// when the result's ownership moved to a device residency
+// (settleOutput): it is then absent from vals so the uniform free path
+// skips it, while downloads (KeepOutput) still reach it.
 type staged struct {
 	t    *task
 	vals []*core.Ciphertext // inputs + intermediates, in value-list order
+	out  *core.Ciphertext   // result retained device-resident, if any
 	err  error
+}
+
+// result returns the job's output ciphertext (the last value, or the
+// retained residency once settled).
+func (sj *staged) result() *core.Ciphertext {
+	if sj.out != nil {
+		return sj.out
+	}
+	return sj.vals[len(sj.vals)-1]
 }
 
 // runWorker executes batches: stage every job (uploads + full kernel
@@ -998,18 +1102,22 @@ func (s *Scheduler) runWorkerOverlapped(w *worker) {
 
 // uploadedBatch is a batch whose inputs have been shipped to the
 // device in one gathered staging submission. ins[i] are job i's
-// device-resident inputs; ev is the copy event every chain must
-// depend on. A non-nil err (gathered upload panicked) fails the whole
-// batch.
+// device-resident inputs (host uploads plus borrowed aliases of
+// device-resident dependencies); ev is the copy event every chain must
+// depend on, depEvs the producer events of the borrowed dependencies.
+// A non-nil err (gathered upload panicked) fails the whole batch.
 type uploadedBatch struct {
-	batch []*task
-	ins   [][]*core.Ciphertext
-	ev    gpu.Event
-	err   error
+	batch  []*task
+	ins    [][]*core.Ciphertext
+	ev     gpu.Event
+	depEvs []gpu.Event
+	err    error
 }
 
-// uploadBatch gathers every input of every job in the batch into one
-// staged H2D submission on the copy engine.
+// uploadBatch gathers every host input of every job in the batch —
+// including host-fallback dependency values — into one staged H2D
+// submission on the copy engine, splicing borrowed device-resident
+// dependencies in afterwards (they move zero bytes).
 func (w *worker) uploadBatch(s *Scheduler, batch []*task) (ub *uploadedBatch) {
 	ub = &uploadedBatch{batch: batch}
 	defer func() {
@@ -1026,20 +1134,26 @@ func (w *worker) uploadBatch(s *Scheduler, batch []*task) (ub *uploadedBatch) {
 		}
 	}()
 	var hosts []*ckks.Ciphertext
-	for _, t := range batch {
-		hosts = append(hosts, t.job.Inputs...)
+	counts := make([]int, len(batch))
+	for i, t := range batch {
+		hs := t.hostInputs()
+		counts[i] = len(hs)
+		hosts = append(hosts, hs...)
 	}
-	devs, bytes, ev := w.ctx.UploadBatch(hosts)
-	s.transferDone(batch[0].class, bytes, 0)
-	ub.ev = ev
+	var devs []*core.Ciphertext
+	if len(hosts) > 0 {
+		var bytes int64
+		devs, bytes, ub.ev = w.ctx.UploadBatch(hosts)
+		s.transferDone(batch[0].class, bytes, 0)
+	}
 	ub.ins = make([][]*core.Ciphertext, len(batch))
 	off := 0
 	for i, t := range batch {
 		// Cap each job's slice at its own inputs (three-index slice):
 		// the chains append intermediates to these value lists, and an
 		// uncapped subslice would clobber the next job's entries.
-		ub.ins[i] = devs[off : off+len(t.job.Inputs) : off+len(t.job.Inputs)]
-		off += len(t.job.Inputs)
+		ub.ins[i] = t.spliceIns(devs[off:off+counts[i]:off+counts[i]], &ub.depEvs)
+		off += counts[i]
 	}
 	return ub
 }
@@ -1057,6 +1171,7 @@ func (w *worker) stageUploaded(s *Scheduler, ub *uploadedBatch) ([]*staged, bool
 		return out, false
 	}
 	w.ctx.PipelineAfter(ub.ev)
+	w.ctx.DependOn(ub.depEvs...)
 	if s.cfg.fuseKernels && len(ub.batch) >= 2 {
 		return w.stageFusedOn(s, ub)
 	}
@@ -1092,8 +1207,10 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 	results := make([]*core.Ciphertext, len(stagedJobs))
 	any := false
 	for i, sj := range stagedJobs {
-		if sj.err == nil {
-			results[i] = sj.vals[len(sj.vals)-1]
+		// Settle first: outputs with registered consumers stay
+		// device-resident and skip the download unless kept.
+		if s.settleOutput(w, sj) {
+			results[i] = sj.result()
 			any = true
 		}
 	}
@@ -1101,8 +1218,8 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					for _, sj := range stagedJobs {
-						if sj.err == nil {
+					for i, sj := range stagedJobs {
+						if results[i] != nil && sj.err == nil {
 							sj.err = fmt.Errorf("sched: batch download panicked: %v", r)
 						}
 					}
@@ -1110,7 +1227,7 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 			}()
 			outs, bytes, ev := w.ctx.DownloadBatchAsync(results)
 			for i, sj := range stagedJobs {
-				if sj.err == nil {
+				if results[i] != nil && sj.err == nil {
 					sj.t.fut.res = outs[i]
 				}
 			}
@@ -1131,8 +1248,8 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 func (w *worker) resolveBatch(s *Scheduler, pb *pendingBatch) {
 	pb.ev.Wait()
 	for _, sj := range pb.staged {
-		sj.t.fut.err = sj.err
-		close(sj.t.fut.done)
+		s.releaseDeps(sj.t)
+		sj.t.fut.finish(sj.err)
 		w.pending.Add(-1)
 		s.jobDone(w, sj.t, sj.err != nil, len(pb.staged), pb.done)
 	}
@@ -1220,10 +1337,49 @@ func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKe
 	return vals, nil
 }
 
+// stageIns builds a task's device value-list prefix: host inputs and
+// host-fallback dependency values upload through the context, while
+// device-resident dependencies splice in as borrowed aliases ordered
+// after their producers' events. On panic every upload made so far is
+// recycled (borrowed aliases free as no-ops).
+func (w *worker) stageIns(t *task) (ins []*core.Ciphertext, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, v := range ins {
+				if v != nil {
+					w.ctx.Free(v)
+				}
+			}
+			ins = nil
+			err = fmt.Errorf("sched: job input upload panicked: %v", r)
+		}
+	}()
+	for _, in := range t.job.Inputs {
+		ins = append(ins, w.ctx.Upload(in))
+	}
+	for i, d := range t.deps {
+		switch {
+		case d.res != nil:
+			w.ctx.DependOn(d.res.evs...)
+			ins = append(ins, core.Borrow(d.res.ct))
+		case d.host != nil:
+			ins = append(ins, w.ctx.Upload(d.host))
+		default:
+			panic(fmt.Sprintf("dependency input %d lost its value during migration", i))
+		}
+	}
+	return ins, nil
+}
+
 // stage runs a job's chain on the worker's private context.
 func (w *worker) stage(s *Scheduler, t *task) *staged {
 	sj := &staged{t: t}
-	sj.vals, sj.err = evalChain(w.ctx, s.rlk, s.gks, t.job)
+	ins, err := w.stageIns(t)
+	if err != nil {
+		sj.err = err
+		return sj
+	}
+	sj.vals, sj.err = evalChainOn(w.ctx, s.rlk, s.gks, t.job, ins)
 	if sj.err != nil {
 		w.freeAll(sj)
 	}
@@ -1252,7 +1408,9 @@ func (w *worker) stageOn(s *Scheduler, t *task, ins []*core.Ciphertext) *staged 
 func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
 	var last gpu.Event
 	for _, sj := range stagedJobs {
-		if sj.err != nil {
+		// Settle first: outputs with registered consumers stay
+		// device-resident and skip the download unless kept.
+		if !s.settleOutput(w, sj) {
 			continue
 		}
 		if ev, ok := w.submitDownload(sj); ok {
@@ -1263,8 +1421,8 @@ func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
 	done := s.backend.SimulatedSeconds()
 	for _, sj := range stagedJobs {
 		w.freeAll(sj)
-		sj.t.fut.err = sj.err
-		close(sj.t.fut.done)
+		s.releaseDeps(sj.t)
+		sj.t.fut.finish(sj.err)
 		w.pending.Add(-1)
 		s.jobDone(w, sj.t, sj.err != nil, len(stagedJobs), done)
 	}
@@ -1278,8 +1436,7 @@ func (w *worker) submitDownload(sj *staged) (ev gpu.Event, ok bool) {
 			ok = false
 		}
 	}()
-	res := sj.vals[len(sj.vals)-1]
-	out, ev := w.ctx.DownloadAsync(res)
+	out, ev := w.ctx.DownloadAsync(sj.result())
 	sj.t.fut.res = out
 	return ev, true
 }

@@ -346,7 +346,7 @@ func TestTransferStagingReuse(t *testing.T) {
 			}
 		}
 	}
-	gets, reuses := s.Backend().Staging().Stats()
+	gets, reuses, _ := s.Backend().Staging().Stats()
 	if gets == 0 || reuses == 0 {
 		t.Fatalf("staging pool never recycled: %d gets, %d reuses", gets, reuses)
 	}

@@ -114,6 +114,39 @@
 //	svc := xehe.NewService(params, kit, xehe.Device1,
 //		xehe.ServiceConfig{Workers: 2, FuseTransfers: xehe.ToggleOn})
 //
+// # Job graphs with device-resident intermediates
+//
+// Jobs can consume other jobs' outputs directly on the device:
+// Job.InputFrom(fut) adds a dependency edge, extending the value-index
+// scheme (a job's own Inputs first, then its dependency outputs in
+// InputFrom order, then op results). The scheduler parks the consumer
+// until its producers settle, routes it to the shard that ran the
+// producer, and hands it the producer's output as a pinned
+// device-resident buffer — a producer→consumer edge inside a shard
+// costs zero PCIe traffic. An output with registered consumers skips
+// its download entirely; after the last consumer takes its reference
+// the buffer is recycled and the producer's Wait reports
+// ErrResultDiscarded. Call KeepOutput to also download a consumed
+// output for the host:
+//
+//	prod := xehe.NewJob(kit.Encrypt(a), kit.Encrypt(b))
+//	prod.MulRelinRescale(0, 1)
+//	pf, err := svc.Submit(prod)
+//
+//	cons := xehe.NewJob(kit.Encrypt(c)) // value 0
+//	d := cons.InputFrom(pf)             // value 1: prod's output, device-resident
+//	cons.Add(0, d)
+//	cf, err := svc.Submit(cons)
+//	ct, err := cf.Wait() // only the sink is downloaded
+//
+// Graph edges compose with every knob above — coalescing, fused
+// kernels, fused transfers, QoS classes, cluster routing and work
+// stealing (a consumer stolen away from its producer's shard
+// rematerializes the value through the host; results stay
+// bit-for-bit identical). ServiceStats.GraphJobs and
+// ResidentHits/ResidentMisses count the edges and how many resolved
+// on-device.
+//
 // The correctness of the concurrent and sharded paths is pinned by a
 // differential harness (internal/sched): randomized job chains must
 // reproduce the serial single-queue pipeline bit-for-bit — regardless
@@ -604,6 +637,12 @@ var ErrNoShards = sched.ErrNoShards
 // pending queue is full — on a Cluster, only once every open shard
 // has shed it. Full-share classes block instead (backpressure).
 var ErrOverloaded = sched.ErrOverloaded
+
+// ErrResultDiscarded is returned by Pending.Wait on a job whose output
+// was consumed on-device by other jobs (via InputFrom) and therefore
+// never downloaded. Call Job.KeepOutput before submitting to retain a
+// host copy alongside the device-resident hand-off.
+var ErrResultDiscarded = sched.ErrResultDiscarded
 
 // Submit validates and enqueues a job on the least-loaded open shard.
 // It blocks when that shard's pipeline is saturated (backpressure) and
