@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-graph bench-record clean
+.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-graph bench-trace bench-record clean
 
 all: build test
 
@@ -24,11 +24,13 @@ test: build
 
 # Race-enabled pass over every package that runs goroutines
 # concurrently: the batch scheduler's differential + QoS fairness +
-# work-stealing + transfer-pipeline harnesses, the qos policy layer,
-# the shared device memory cache + staging pool, the GPU simulator's
-# group runner, and the sycl copy-queue event ordering.
+# work-stealing + transfer-pipeline harnesses (now including the
+# concurrent Stats/trace-snapshot hammer), the qos policy layer, the
+# observability rings + metrics registry, the shared device memory
+# cache + staging pool, the GPU simulator's group runner, and the sycl
+# copy-queue event ordering.
 test-race:
-	$(GO) test -race ./internal/sched/... ./internal/qos/... ./internal/memcache/... ./internal/gpu/... ./internal/sycl/...
+	$(GO) test -race ./internal/sched/... ./internal/qos/... ./internal/obs/... ./internal/memcache/... ./internal/gpu/... ./internal/sycl/...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
@@ -38,10 +40,11 @@ bench:
 # small mixed-class QoS sweep: per-class latency rows under the FIFO
 # baseline and WFQ), so a perf-destroying regression (or a broken
 # -json contract) fails the pipeline without paying for the full
-# benchmark matrix.
+# benchmark matrix. Also writes a Perfetto-loadable sample trace from
+# the same mixed-QoS cluster shape (CI uploads it as an artifact).
 bench-smoke:
 	$(GO) test -bench 'Benchmark(Service|Cluster)Throughput' -benchtime 50x -run '^$$' .
-	$(GO) run ./cmd/xehe-bench -cluster 50 -json
+	$(GO) run ./cmd/xehe-bench -cluster 50 -json -trace trace-sample.json
 
 # Cross-job kernel fusion smoke: a single low-N pass over the fused
 # service benchmark plus the fused-vs-unfused sweep as JSON rows, so a
@@ -66,10 +69,17 @@ bench-transfer:
 bench-graph:
 	$(GO) run ./cmd/xehe-bench -graph 48 -json
 
+# Trace-overhead smoke: the tracing-off vs tracing-on rows over the
+# 2x Device1 mixed-QoS cluster. The simulated-time rate is identical
+# by construction (span recording only reads the clocks); the host
+# rate quantifies the recording overhead, which must stay small.
+bench-trace:
+	$(GO) run ./cmd/xehe-bench -traceoverhead 200 -json
+
 # Record the bench trajectory: the standard 500-job cluster + mixed
-# QoS + fusion + transfer + graph-residency sweep, machine-readable,
-# written to the repo root (CI uploads it as an artifact so the
-# trajectory is preserved per commit).
+# QoS + fusion + transfer + graph-residency + trace-overhead sweep,
+# machine-readable, written to the repo root (CI uploads it as an
+# artifact so the trajectory is preserved per commit).
 bench-record:
 	$(GO) run ./cmd/xehe-bench -cluster 500 -json > BENCH_cluster.json
 	@wc -l BENCH_cluster.json

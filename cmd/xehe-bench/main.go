@@ -32,9 +32,28 @@ func main() {
 	fusion := flag.Int("fusion", 0, "run the fused-vs-unfused kernel fusion sweep with this many jobs per configuration")
 	transfer := flag.Int("transfer", 0, "run the fused-transfer (copy/compute overlap) sweep with this many jobs per configuration")
 	graph := flag.Int("graph", 0, "run the job-graph residency sweep (chained jobs via InputFrom vs host round-trips) with this many jobs per configuration")
-	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion/-transfer/-graph results as machine-readable JSON instead of tables")
+	tracePath := flag.String("trace", "", "record a Perfetto/Chrome trace of the standard mixed-QoS cluster stream to this file")
+	traceOverhead := flag.Int("traceoverhead", 0, "run the tracing-overhead sweep (tracing off vs on) with this many jobs per configuration")
+	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion/-transfer/-graph/-traceoverhead results as machine-readable JSON instead of tables")
 	flag.Parse()
 
+	if *tracePath != "" {
+		n := *cluster
+		if n <= 0 {
+			n = 500
+		}
+		writeTraceSample(*tracePath, n)
+		if *cluster == 0 && *service == 0 && *fusion == 0 && *transfer == 0 &&
+			*graph == 0 && *traceOverhead == 0 && *fig == "" && *tab == "" {
+			return
+		}
+	}
+	if *traceOverhead > 0 {
+		if results := traceOverheadSweep(*traceOverhead, *jsonOut); *jsonOut {
+			emitResults(results)
+		}
+		return
+	}
 	if *service > 0 {
 		serviceThroughput(*service, *jsonOut)
 		return
@@ -150,6 +169,10 @@ type throughputResult struct {
 	DeadlineHit    int64   `json:"deadline_hit,omitempty"`
 	DeadlineMiss   int64   `json:"deadline_miss,omitempty"`
 	Rejected       int64   `json:"rejected,omitempty"`
+	// Tracing counters (the -traceoverhead sweep): spans recorded into
+	// the ring buffers and spans lost to drop-oldest overwrite.
+	Spans        int64 `json:"spans,omitempty"`
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
 }
 
 func emitResults(results []throughputResult) {
@@ -303,9 +326,109 @@ func clusterThroughput(jobs int, jsonOut bool) {
 	results = append(results, fusionSweep(jobs, jsonOut)...)
 	results = append(results, transferSweep(jobs, jsonOut)...)
 	results = append(results, graphSweep(jobs, jsonOut)...)
+	results = append(results, traceOverheadSweep(jobs, jsonOut)...)
 	if jsonOut {
 		emitResults(results)
 	}
+}
+
+// traceOverheadSweep measures what span tracing costs: the standard
+// mixed-QoS stream runs through a 2x Device1 cluster with tracing off
+// and on. Simulated throughput is identical by construction (recording
+// only reads the simulated clocks), so the off/on sim-jobs/sec pair
+// doubles as a regression check; host-side jobs/sec shows the real
+// recording overhead (target <= 5%).
+func traceOverheadSweep(jobs int, jsonOut bool) []throughputResult {
+	params, kit, cta, ctb := benchInputs()
+	var results []throughputResult
+	if !jsonOut {
+		fmt.Printf("\ntracing overhead sweep (%d jobs, standard mixed-QoS stream, on 2x Device1)\n\n", jobs)
+		fmt.Printf("%-8s %8s %12s %14s %12s %12s\n",
+			"config", "jobs", "jobs/sec", "sim-jobs/sec", "spans", "dropped")
+	}
+	for _, cfg := range []struct {
+		name    string
+		tracing bool
+	}{{"off", false}, {"on", true}} {
+		cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device1},
+			xehe.ClusterConfig{
+				WarmBuffers: 32, QueueDepth: 2, MaxBatch: 4, PendingCap: 512,
+				Trace: xehe.TraceConfig{Enabled: toggleOf(cfg.tracing)},
+			})
+		submitMix := func(n int, mix bool) {
+			for i := 0; i < n; i++ {
+				class, deadline := xehe.Batch, 0.0
+				if mix {
+					class, deadline = mixedClass(i)
+				}
+				job := buildJob(cta, ctb).WithClass(class).WithDeadline(deadline)
+				if _, err := cl.Submit(job); err != nil && err != xehe.ErrOverloaded {
+					fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		submitMix(16, false)
+		cl.Wait()
+		cl.ResetSimClocks()
+		start := time.Now()
+		submitMix(jobs, true)
+		cl.Wait()
+		wall := time.Since(start).Seconds()
+		spans, dropped := cl.TraceCounts()
+		r := throughputResult{
+			Bench: "trace", Config: cfg.name, Devices: 2, Jobs: jobs,
+			JobsPerSec:    float64(jobs) / wall,
+			SimJobsPerSec: float64(jobs) / cl.SimulatedSeconds(),
+			Spans:         spans,
+			SpansDropped:  dropped,
+		}
+		results = append(results, r)
+		if !jsonOut {
+			fmt.Printf("%-8s %8d %12.1f %14.0f %12d %12d\n",
+				r.Config, r.Jobs, r.JobsPerSec, r.SimJobsPerSec, r.Spans, r.SpansDropped)
+		}
+		cl.Close()
+	}
+	return results
+}
+
+// writeTraceSample records the standard mixed-QoS stream (jobs jobs on
+// a 2x Device1 cluster, tracing on) and writes the merged timeline as
+// Chrome-trace-event JSON to path, loadable in Perfetto. Progress goes
+// to stderr so -json output on stdout stays machine-readable.
+func writeTraceSample(path string, jobs int) {
+	params, kit, cta, ctb := benchInputs()
+	cl := xehe.NewCluster(params, kit, []xehe.DeviceKind{xehe.Device1, xehe.Device1},
+		xehe.ClusterConfig{
+			WarmBuffers: 32, QueueDepth: 2, MaxBatch: 4, PendingCap: 512,
+			Trace: xehe.TraceConfig{Enabled: xehe.ToggleOn},
+		})
+	defer cl.Close()
+	for i := 0; i < jobs; i++ {
+		class, deadline := mixedClass(i)
+		job := buildJob(cta, ctb).WithClass(class).WithDeadline(deadline)
+		if _, err := cl.Submit(job); err != nil && err != xehe.ErrOverloaded {
+			fmt.Fprintf(os.Stderr, "submit: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	cl.Wait()
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := cl.WriteTrace(f); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+	spans, dropped := cl.TraceCounts()
+	fmt.Fprintf(os.Stderr, "wrote %s: %d jobs, %d spans recorded (%d dropped)\n", path, jobs, spans, dropped)
 }
 
 // toggleOf maps a sweep's boolean axis onto the config knob, keeping

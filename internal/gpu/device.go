@@ -28,10 +28,18 @@ type Device struct {
 }
 
 // TraceEntry records one submitted command for profiling (Fig. 5's
-// NTT-vs-others breakdown).
+// NTT-vs-others breakdown) and timeline export (internal/obs). Cycles
+// is the command's analytic duration before the multi-queue tax, so
+// duration-based breakdowns are placement-independent; Start/End are
+// its scheduled interval on the tile's timeline (tax included), and
+// Copy marks commands placed on the tile's copy engine.
 type TraceEntry struct {
 	Name   string
 	Cycles Cycles
+	Start  Cycles
+	End    Cycles
+	Tile   int
+	Copy   bool
 }
 
 // NewDevice creates a device from a spec.
@@ -292,10 +300,8 @@ func (q *Queue) submit(name string, dur Cycles, deps ...Event) Event {
 func (q *Queue) submitOn(name string, dur Cycles, copyEngine bool, deps ...Event) Event {
 	d := q.dev
 	copyEngine = copyEngine && d.Spec.CopyEngine
+	rawDur := dur
 	d.mu.Lock()
-	if d.traceOn {
-		d.trace = append(d.trace, TraceEntry{Name: name, Cycles: dur})
-	}
 	d.hostTime += d.Spec.HostSubmitCycles
 	tl := d.tileTime
 	if copyEngine {
@@ -315,6 +321,12 @@ func (q *Queue) submitOn(name string, dur Cycles, copyEngine bool, deps ...Event
 	}
 	end := start + dur
 	tl[q.tile] = end
+	if d.traceOn {
+		d.trace = append(d.trace, TraceEntry{
+			Name: name, Cycles: rawDur, Start: start, End: end,
+			Tile: q.tile, Copy: copyEngine,
+		})
+	}
 	d.mu.Unlock()
 	ev := Event{dev: d, done: end}
 	q.last = ev

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Process is one Perfetto process row: a named group of spans laid out
+// on tracks (threads). TrackOrder pins the display order of the listed
+// tracks; tracks not listed are appended in first-seen span order.
+type Process struct {
+	Name       string
+	Spans      []Span
+	TrackOrder []string
+}
+
+// traceEvent is one Chrome trace-event JSON object. Timestamps and
+// durations are microseconds; we map the simulated clock onto them, so
+// one trace microsecond is one simulated microsecond.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the trace file's top-level object.
+type chromeTrace struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace exports the processes as a Chrome-trace-event JSON
+// file loadable by Perfetto (ui.perfetto.dev) and chrome://tracing.
+// Every process gets its own pid, every track its own tid (labelled
+// and ordered via metadata events), and each span becomes one complete
+// ("X") event whose ts/dur are the span's simulated-clock interval in
+// microseconds. Events are sorted by start time within each track, so
+// per-track timestamps are monotone. Wall-clock stamps and QoS
+// attribution ride along in the event args.
+func WriteChromeTrace(w io.Writer, procs []Process) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+	for pi, p := range procs {
+		pid := pi + 1
+		trace.TraceEvents = append(trace.TraceEvents, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": p.Name},
+		})
+		// Assign tids: pinned order first, then first-seen.
+		tids := map[string]int{}
+		var tracks []string
+		addTrack := func(name string) {
+			if _, ok := tids[name]; ok {
+				return
+			}
+			tids[name] = len(tracks) + 1
+			tracks = append(tracks, name)
+		}
+		for _, t := range p.TrackOrder {
+			addTrack(t)
+		}
+		for _, sp := range p.Spans {
+			addTrack(sp.Track)
+		}
+		for _, t := range tracks {
+			trace.TraceEvents = append(trace.TraceEvents,
+				traceEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: tids[t],
+					Args: map[string]any{"name": t}},
+				traceEvent{Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: tids[t],
+					Args: map[string]any{"sort_index": tids[t]}})
+		}
+		// One X event per span, sorted by start within each track.
+		spans := append([]Span(nil), p.Spans...)
+		sort.SliceStable(spans, func(i, j int) bool {
+			if spans[i].Track != spans[j].Track {
+				return tids[spans[i].Track] < tids[spans[j].Track]
+			}
+			return spans[i].Start < spans[j].Start
+		})
+		for _, sp := range spans {
+			// Perfetto requires dur on X events, so even zero-length
+			// spans carry an explicit one (negative clamps to zero).
+			dur := sp.Dur() * 1e6
+			if dur < 0 {
+				dur = 0
+			}
+			ev := traceEvent{
+				Name: sp.Name, Ph: "X", Cat: sp.Cat,
+				Ts: sp.Start * 1e6, Dur: &dur,
+				Pid: pid, Tid: tids[sp.Track],
+			}
+			if sp.Class != "" || sp.Batch != 0 || sp.Jobs != 0 || sp.Wall != 0 {
+				ev.Args = map[string]any{}
+				if sp.Class != "" {
+					ev.Args["class"] = sp.Class
+				}
+				if sp.Batch != 0 {
+					ev.Args["batch"] = sp.Batch
+				}
+				if sp.Jobs != 0 {
+					ev.Args["jobs"] = sp.Jobs
+				}
+				if sp.Wall != 0 {
+					ev.Args["wall_ns"] = sp.Wall
+				}
+			}
+			trace.TraceEvents = append(trace.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// Dur returns the span's simulated duration in seconds.
+func (sp Span) Dur() float64 { return sp.End - sp.Start }

@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing instrument.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket distribution instrument. Bucket counts
+// and the running sum are atomics, so Observe is lock-free and safe
+// from any goroutine.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf is implicit
+	counts []atomic.Int64 // len(bounds)+1: last is the overflow bucket
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// newHistogram builds a histogram over the given ascending upper
+// bounds.
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBounds returns n exponentially spaced upper bounds starting at
+// start and growing by factor — the default shape for latency
+// histograms (microseconds to minutes in ~26 buckets).
+func ExpBounds(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	b := start
+	for i := range out {
+		out[i] = b
+		b *= factor
+	}
+	return out
+}
+
+// LatencyBounds is the default bucket layout for simulated-seconds
+// histograms: 1µs to ~67s in powers of two.
+func LatencyBounds() []float64 { return ExpBounds(1e-6, 2, 27) }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Bucket is one cumulative-free histogram bucket in a Snapshot: Count
+// samples fell at or below LE (math.Inf(1) marks the overflow bucket).
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// MarshalJSON writes the overflow bound as the string "+Inf"
+// (encoding/json rejects infinite float64 values).
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	if math.IsInf(b.LE, 1) {
+		return []byte(fmt.Sprintf(`{"le":"+Inf","count":%d}`, b.Count)), nil
+	}
+	return []byte(fmt.Sprintf(`{"le":%g,"count":%d}`, b.LE, b.Count)), nil
+}
+
+// Instrument is one instrument's state in a Snapshot.
+type Instrument struct {
+	Name    string   `json:"name"`
+	Kind    string   `json:"kind"` // "counter", "gauge" or "histogram"
+	Value   float64  `json:"value,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of a histogram
+// instrument from its buckets, returning each bucket's upper bound as
+// the estimate. Returns 0 with no samples.
+func (in Instrument) Quantile(q float64) float64 {
+	if in.Count == 0 || len(in.Buckets) == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(in.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	est := in.Buckets[0].LE
+	for _, b := range in.Buckets {
+		if !math.IsInf(b.LE, 1) {
+			est = b.LE // overflow mass reports the last finite bound
+		}
+		cum += b.Count
+		if cum >= rank {
+			break
+		}
+	}
+	return est
+}
+
+// Snapshot is a point-in-time copy of a registry's instruments, in
+// registration order. It marshals directly to JSON and prints with
+// WriteText.
+type Snapshot struct {
+	Instruments []Instrument `json:"instruments"`
+}
+
+// Get returns the named instrument.
+func (s Snapshot) Get(name string) (Instrument, bool) {
+	for _, in := range s.Instruments {
+		if in.Name == name {
+			return in, true
+		}
+	}
+	return Instrument{}, false
+}
+
+// WriteText dumps the snapshot in a one-instrument-per-line text form
+// (histograms report count, sum and estimated p50/p99).
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, in := range s.Instruments {
+		var err error
+		switch in.Kind {
+		case "histogram":
+			_, err = fmt.Fprintf(w, "%-10s %-46s count=%d sum=%.6g p50=%.6g p99=%.6g\n",
+				in.Kind, in.Name, in.Count, in.Sum, in.Quantile(0.50), in.Quantile(0.99))
+		default:
+			_, err = fmt.Fprintf(w, "%-10s %-46s %.6g\n", in.Kind, in.Name, in.Value)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Merge sums snapshots instrument-by-instrument (matched by name):
+// counter and gauge values add, histogram counts, sums and per-bucket
+// counts add. Instruments keep first-seen order, so merging per-shard
+// registries yields a cluster-wide view.
+func Merge(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	idx := map[string]int{}
+	for _, s := range snaps {
+		for _, in := range s.Instruments {
+			i, ok := idx[in.Name]
+			if !ok {
+				idx[in.Name] = len(out.Instruments)
+				cp := in
+				cp.Buckets = append([]Bucket(nil), in.Buckets...)
+				out.Instruments = append(out.Instruments, cp)
+				continue
+			}
+			dst := &out.Instruments[i]
+			dst.Value += in.Value
+			dst.Count += in.Count
+			dst.Sum += in.Sum
+			for b := range dst.Buckets {
+				if b < len(in.Buckets) {
+					dst.Buckets[b].Count += in.Buckets[b].Count
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Registry is a set of named instruments. Instrument construction is
+// idempotent (the same name returns the same instrument) and
+// registration order is preserved in snapshots.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	counters map[string]*Counter
+	gauges   map[string]func() float64
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]func() float64{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	r.order = append(r.order, name)
+	return c
+}
+
+// Gauge registers a read-on-snapshot gauge backed by fn (e.g. a pool
+// occupancy probe). Re-registering a name replaces its function.
+func (r *Registry) Gauge(name string, fn func() float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.gauges[name]; !ok {
+		r.order = append(r.order, name)
+	}
+	r.gauges[name] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (nil selects LatencyBounds).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = LatencyBounds()
+	}
+	h := newHistogram(bounds)
+	r.hists[name] = h
+	r.order = append(r.order, name)
+	return h
+}
+
+// Snapshot copies every instrument's current state, evaluating gauges.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, name := range r.order {
+		switch {
+		case r.counters[name] != nil:
+			s.Instruments = append(s.Instruments, Instrument{
+				Name: name, Kind: "counter", Value: float64(r.counters[name].Value()),
+			})
+		case r.gauges[name] != nil:
+			s.Instruments = append(s.Instruments, Instrument{
+				Name: name, Kind: "gauge", Value: r.gauges[name](),
+			})
+		case r.hists[name] != nil:
+			h := r.hists[name]
+			in := Instrument{Name: name, Kind: "histogram", Count: h.Count(), Sum: h.Sum()}
+			for i := range h.counts {
+				le := math.Inf(1)
+				if i < len(h.bounds) {
+					le = h.bounds[i]
+				}
+				in.Buckets = append(in.Buckets, Bucket{LE: le, Count: h.counts[i].Load()})
+			}
+			s.Instruments = append(s.Instruments, in)
+		}
+	}
+	return s
+}

@@ -8,6 +8,7 @@ import (
 
 	"xehe/internal/ckks"
 	"xehe/internal/gpu"
+	"xehe/internal/obs"
 	"xehe/internal/qos"
 )
 
@@ -63,6 +64,12 @@ type Cluster struct {
 	stealMu   sync.Mutex
 	stopSteal chan struct{}
 	stealWg   sync.WaitGroup
+
+	// obsReg holds the cluster's own instruments (routing events the
+	// shards cannot see); Metrics merges it with the shard registries.
+	obsReg   *obs.Registry
+	rerouted *obs.Counter
+	shed     *obs.Counter
 }
 
 // shard is one device's scheduler plus its routing state.
@@ -91,7 +98,10 @@ func NewCluster(params *ckks.Parameters, devs []*gpu.Device, cfg Config, rlk *ck
 		params:    params,
 		closeDone: make(chan struct{}),
 		stopSteal: make(chan struct{}),
+		obsReg:    obs.NewRegistry(),
 	}
+	c.rerouted = c.obsReg.Counter("cluster.rerouted_jobs")
+	c.shed = c.obsReg.Counter("cluster.shed_jobs")
 	for i, dev := range devs {
 		replica := make(map[int]*ckks.GaloisKey, len(gks))
 		for k, v := range gks {
@@ -245,6 +255,7 @@ func (c *Cluster) Submit(job *Job) (*Future, error) {
 		if sh == nil {
 			if overloaded {
 				c.rejected[job.Class].Add(1)
+				c.shed.Add(1)
 				return nil, ErrOverloaded
 			}
 			return nil, ErrNoShards
@@ -400,9 +411,11 @@ func (c *Cluster) CloseShard(i int) {
 			break
 		}
 		n := (queued + 1) / 2
-		if c.migrate(sh, c.shards[dst], n) == 0 {
+		moved := c.migrate(sh, c.shards[dst], n)
+		if moved == 0 {
 			break
 		}
+		c.rerouted.Add(int64(moved))
 	}
 	c.stealMu.Unlock()
 	sh.sched.Close()

@@ -23,7 +23,7 @@ import (
 // inputs (the fused transfer pipeline ships them in one gathered
 // staging submission). It takes ownership of ins: on error every
 // value — inputs and intermediates — has been recycled.
-func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, jobs []*Job, ins [][]*core.Ciphertext) (vals [][]*core.Ciphertext, err error) {
+func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, jobs []*Job, ins [][]*core.Ciphertext, tr *stepTrace) (vals [][]*core.Ciphertext, err error) {
 	stage := 0
 	vals = ins
 	defer func() {
@@ -50,6 +50,7 @@ func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.Gal
 	}
 	for i, op := range jobs[0].Ops {
 		stage = i
+		sst := tr.begin()
 		var rs []*core.Ciphertext
 		switch op.Code {
 		case OpAdd:
@@ -69,6 +70,7 @@ func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.Gal
 		case OpModSwitch:
 			rs = c.ModSwitchBatch(gather(op.A))
 		}
+		tr.end(sst, op.Code.String(), k)
 		for j := range vals {
 			vals[j] = append(vals[j], rs[j])
 		}
@@ -103,7 +105,7 @@ func (w *worker) stageFused(s *Scheduler, batch []*task) ([]*staged, bool) {
 			return w.stageEach(s, batch), false
 		}
 	}
-	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ins)
+	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ins, w.tr)
 	if err != nil {
 		return w.stageEach(s, batch), false
 	}
@@ -134,7 +136,7 @@ func (w *worker) stageFusedOn(s *Scheduler, ub *uploadedBatch) ([]*staged, bool)
 	for i, t := range ub.batch {
 		jobs[i] = t.job
 	}
-	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ub.ins)
+	vals, err := evalChainFusedOn(w.ctx, s.rlk, s.gks, jobs, ub.ins, w.tr)
 	if err != nil {
 		return w.stageEach(s, ub.batch), false
 	}

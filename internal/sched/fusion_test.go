@@ -237,7 +237,7 @@ func TestFusedBatchOfOneMatchesUnfused(t *testing.T) {
 		for _, in := range job.Inputs {
 			ins[0] = append(ins[0], ctx.Upload(in))
 		}
-		vals, err := evalChainFusedOn(ctx, h.RelinKey(), h.GaloisKeys(), []*Job{job}, ins)
+		vals, err := evalChainFusedOn(ctx, h.RelinKey(), h.GaloisKeys(), []*Job{job}, ins, nil)
 		if err != nil {
 			t.Fatalf("family %d: fused: %v", fi, err)
 		}

@@ -205,6 +205,11 @@ func (s *Scheduler) depReady(t *task, i int, f *Future, pre bool) {
 			s.stats.ResidentMisses++
 		}
 		s.statMu.Unlock()
+		if hit {
+			s.met.residentHits.Add(1)
+		} else {
+			s.met.residentMisses.Add(1)
+		}
 	}
 	var failErr error
 	s.qmu.Lock()
@@ -220,6 +225,11 @@ func (s *Scheduler) depReady(t *task, i int, f *Future, pre bool) {
 	s.waiting--
 	failErr = t.depErr
 	if failErr == nil {
+		// Attribute the dependency park: simulated time between the
+		// consumer's admission and its last producer settling.
+		if park := s.backend.SimulatedSeconds() - t.enq; park > 0 {
+			s.met.depParkNS.Add(int64(park * 1e9))
+		}
 		s.enqueueLocked(t)
 	}
 	s.qmu.Unlock()
@@ -398,5 +408,7 @@ func (s *Scheduler) failTask(t *task, err error) {
 	}
 	s.latency[t.class].add(lat)
 	s.statMu.Unlock()
+	s.met.jobsCompleted.Add(1)
+	s.met.jobsFailed.Add(1)
 	s.outstandingAdd(-1, -t.work())
 }

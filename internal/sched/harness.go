@@ -271,7 +271,7 @@ func (h *Harness) RunSerialWith(job *Job, deps []*ckks.Ciphertext) (*ckks.Cipher
 	for _, d := range deps {
 		ins = append(ins, h.serial.Upload(d))
 	}
-	vals, err := evalChainOn(h.serial, h.rlk, h.gks, job, ins)
+	vals, err := evalChainOn(h.serial, h.rlk, h.gks, job, ins, nil)
 	defer func() {
 		for _, v := range vals {
 			if v != nil {

@@ -221,7 +221,9 @@ func TestEDFSchedulerOrdersByDeadline(t *testing.T) {
 	// The tight job was submitted last but sorts to the front of the
 	// deadline-ordered queue: when it completes, most of the loose
 	// backlog must still be pending (only the plug, the one batch
-	// already in the worker channel, and an in-flight job can beat it).
+	// already in the worker channel, the batch the double-buffered
+	// worker prefetched — transfers are fused by default — and an
+	// in-flight job can beat it).
 	looseDone := 0
 	for _, f := range looseFuts {
 		select {
@@ -230,7 +232,7 @@ func TestEDFSchedulerOrdersByDeadline(t *testing.T) {
 		default:
 		}
 	}
-	if looseDone > 3 {
+	if looseDone > 4 {
 		t.Fatalf("%d of %d loose jobs finished before the tight-deadline job; EDF did not overtake", looseDone, loose)
 	}
 	s.Drain()

@@ -7,10 +7,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"xehe/internal/ckks"
 	"xehe/internal/core"
 	"xehe/internal/gpu"
+	"xehe/internal/obs"
 	"xehe/internal/qos"
 )
 
@@ -85,8 +87,16 @@ type Config struct {
 	// next batch's kernels launch. Composable with FuseKernels (fused
 	// kernels + fused transfers is the fastest configuration). Results
 	// are bit-for-bit identical to the serial path; only submission
-	// counts and simulated timing change. Default off.
+	// counts and simulated timing change. Default ON (flipped after the
+	// transfer pipeline soaked bit-identical for a PR cycle); set
+	// ToggleOff for the unfused-transfer baseline.
 	FuseTransfers Toggle
+	// Trace turns on span-based job-lifecycle tracing (internal/obs):
+	// submit→queue→batch→H2D→per-step→D2H→settle spans recorded into
+	// bounded per-worker ring buffers, exported together with the
+	// device command timelines by WriteTrace. Off by default; when off
+	// the span sites are single nil checks and allocate nothing.
+	Trace TraceConfig
 	// PendingCap bounds the dispatcher's pending queue — the jobs
 	// accepted but not yet shipped to a worker, i.e. the pool the QoS
 	// policy reorders. Class admission shares are fractions of this
@@ -117,6 +127,7 @@ type Config struct {
 	// Resolved toggles (withDefaults): the hot paths branch on these.
 	fuseKernels   bool
 	fuseTransfers bool
+	trace         bool
 }
 
 func (c Config) withDefaults(tiles int) Config {
@@ -124,7 +135,11 @@ func (c Config) withDefaults(tiles int) Config {
 		c.Workers = tiles
 	}
 	c.fuseKernels = c.FuseKernels.or(true)
-	c.fuseTransfers = c.FuseTransfers.or(false)
+	c.fuseTransfers = c.FuseTransfers.or(true)
+	c.trace = c.Trace.Enabled.or(false)
+	if c.Trace.SpanCap <= 0 {
+		c.Trace.SpanCap = 8192
+	}
 	if c.fuseTransfers {
 		// The transfer pipeline needs a per-tile copy queue on every
 		// worker context so gathered copies overlap with compute.
@@ -269,6 +284,8 @@ type task struct {
 	class    int
 	enq      float64
 	deadline float64
+	disp     float64 // dispatch stamp (popBatch), simulated seconds
+	bid      int64   // batch sequence number assigned at dispatch
 
 	// Dependency state (jobs with InputFrom edges). deps is parallel to
 	// job.Deps; entries are written under the scheduler's qmu as
@@ -364,6 +381,15 @@ type Scheduler struct {
 	classStat []ClassStats
 	latency   []latWindow // per-class simulated-latency samples
 
+	// Observability (obs.go): met is the always-on metrics registry;
+	// tracer is nil unless Config.Trace is enabled. queueTracks interns
+	// the per-class queue track names so span recording never
+	// allocates; batchSeq numbers dispatched batches for attribution.
+	met         *schedMetrics
+	tracer      *obs.Tracer
+	queueTracks []string
+	batchSeq    atomic.Int64
+
 	outMu       sync.Mutex
 	outCond     *sync.Cond
 	outstanding int
@@ -381,6 +407,13 @@ type worker struct {
 	ctx     *core.Context
 	ch      chan []*task
 	pending atomic.Int64 // jobs queued or running on this worker
+
+	// Tracing state (nil / "" when Config.Trace is off): the worker's
+	// span ring, its interned track name, and the step-trace handle
+	// threaded into the chain executors.
+	ring  *obs.Ring
+	track string
+	tr    *stepTrace
 }
 
 // New creates a scheduler on the device (wrapped in a DeviceBackend).
@@ -443,8 +476,20 @@ func NewOn(params *ckks.Parameters, backend Backend, cfg Config, rlk *ckks.Relin
 	s.stats.PerWorker = make([]int64, cfg.Workers)
 	s.classStat = make([]ClassStats, len(s.classes))
 	s.latency = make([]latWindow, len(s.classes))
+	classNames := make([]string, len(s.classes))
 	for i, c := range s.classes {
 		s.classStat[i].Name = c.Name
+		classNames[i] = c.Name
+		s.queueTracks = append(s.queueTracks, "queue "+c.Name)
+	}
+	s.met = newSchedMetrics(classNames, backend)
+	if cfg.trace {
+		s.tracer = obs.NewTracer(ringWorker0+cfg.Workers, cfg.Trace.SpanCap)
+		// The device command trace feeds the tile compute/copy tracks
+		// of the exported timeline.
+		if db, ok := backend.(interface{ Device() *gpu.Device }); ok {
+			db.Device().EnableTrace()
+		}
 	}
 	multiQ := cfg.Workers > 1
 	for i := 0; i < cfg.Workers; i++ {
@@ -452,6 +497,11 @@ func NewOn(params *ckks.Parameters, backend Backend, cfg Config, rlk *ckks.Relin
 			id:  i,
 			ctx: backend.WorkerContext(params, cfg.Core, i, multiQ),
 			ch:  make(chan []*task, cfg.QueueDepth),
+		}
+		if s.tracer != nil {
+			w.ring = s.tracer.Ring(ringWorker0 + i)
+			w.track = fmt.Sprintf("worker %d", i)
+			w.tr = &stepTrace{s: s, ring: w.ring, track: w.track}
 		}
 		s.workers = append(s.workers, w)
 		s.workWg.Add(1)
@@ -506,6 +556,7 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 	}
 	class := int(job.Class)
 	t := &task{job: job, fut: newFuture(), class: class}
+	adm := s.spanBegin()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
@@ -535,6 +586,8 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 			s.statMu.Lock()
 			s.classStat[class].Rejected++
 			s.statMu.Unlock()
+			s.met.jobsRejected.Add(1)
+			s.spanEnd(s.obsRing(ringSubmit), adm, trkSubmit, "reject", catAdmit, s.className(class), 0, 1)
 			return nil, ErrOverloaded
 		}
 		for len(s.queues[class]) >= s.limits[class] {
@@ -569,8 +622,10 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 	}
 	s.statMu.Unlock()
 	if len(job.Deps) > 0 {
+		s.met.graphJobs.Add(1)
 		s.registerDeps(t)
 	}
+	s.spanEnd(s.obsRing(ringSubmit), adm, trkSubmit, "submit", catAdmit, s.className(class), 0, 1)
 	s.wake(s.kick)
 	return t.fut, nil
 }
@@ -873,6 +928,35 @@ func (s *Scheduler) popBatch() []*task {
 	s.queues[c] = rest
 	s.queued -= len(batch)
 	s.policy.Dispatched(c, len(batch))
+	// Dispatch accounting: every task gets its batch id and dispatch
+	// stamp (the service-time baseline), and its queueing delay lands
+	// in the per-class histogram. The enqueue stamp can sit a hair
+	// ahead of the simulated clock (monotonicity epsilon), so clamp.
+	bid := s.batchSeq.Add(1)
+	for _, t := range batch {
+		t.bid = bid
+		t.disp = now
+		delay := now - t.enq
+		if delay < 0 {
+			delay = 0
+		}
+		s.met.queueDelay[c].Observe(delay)
+	}
+	if s.tracer != nil {
+		ring := s.tracer.Ring(ringDispatch)
+		wall := time.Now().UnixNano()
+		cls := s.className(c)
+		for _, t := range batch {
+			start := t.enq
+			if start > now {
+				start = now
+			}
+			ring.Record(obs.Span{Track: s.queueTracks[c], Name: "pending", Cat: catQueue,
+				Class: cls, Start: start, End: now, Wall: wall, Batch: bid})
+		}
+		ring.Record(obs.Span{Track: trkDispatch, Name: "batch", Cat: catQueue,
+			Class: cls, Start: now, End: now, Wall: wall, Batch: bid, Jobs: len(batch)})
+	}
 	s.qcond.Broadcast() // queue space freed: wake blocked Submits
 	return batch
 }
@@ -919,6 +1003,7 @@ func (s *Scheduler) stealQueued(max int) []*task {
 		s.statMu.Lock()
 		s.stats.StolenOut += int64(len(out))
 		s.statMu.Unlock()
+		s.met.stolenOut.Add(int64(len(out)))
 		s.qcond.Broadcast()
 	}
 	return out
@@ -963,6 +1048,7 @@ func (s *Scheduler) injectTasks(ts []*task) bool {
 	s.statMu.Lock()
 	s.stats.StolenIn += int64(len(ts))
 	s.statMu.Unlock()
+	s.met.stolenIn.Add(int64(len(ts)))
 	s.outstandingAdd(len(ts), work)
 	s.wake(s.kick)
 	return true
@@ -1008,13 +1094,24 @@ func (s *Scheduler) runWorker(w *worker) {
 		s.runWorkerOverlapped(w)
 		return
 	}
-	for batch := range w.ch {
+	for {
+		idle := time.Now()
+		batch, ok := <-w.ch
+		if !ok {
+			return
+		}
+		// Attribute the receive wait: with the queue empty the worker
+		// sat idle for want of work (wall clock; the simulated clock
+		// does not tick while the host blocks).
+		s.met.idleEmptyNS.Add(time.Since(idle).Nanoseconds())
 		// The batch left the channel: a dispatch slot freed up.
 		s.wake(s.freec)
 		// Record batch stats up front: jobDone on the batch's last job
 		// releases Drain, and Stats() must already see this batch then.
 		s.batchStarted(batch[0].class, len(batch))
+		est := s.spanBegin()
 		stagedJobs, fused := w.stageBatch(s, batch)
+		s.spanEnd(w.ring, est, w.track, "exec", catExec, s.className(batch[0].class), batch[0].bid, len(batch))
 		s.stepsDone(batch, fused)
 		w.finishBatch(s, stagedJobs)
 	}
@@ -1066,10 +1163,12 @@ func (s *Scheduler) runWorkerOverlapped(w *worker) {
 			}
 		}
 		if cur == nil {
+			idle := time.Now()
 			batch, ok := <-w.ch
 			if !ok {
 				break
 			}
+			s.met.idleEmptyNS.Add(time.Since(idle).Nanoseconds())
 			s.wake(s.freec)
 			cur = w.uploadBatch(s, batch)
 		}
@@ -1084,7 +1183,9 @@ func (s *Scheduler) runWorkerOverlapped(w *worker) {
 		default:
 		}
 		s.batchStarted(cur.batch[0].class, len(cur.batch))
+		est := s.spanBegin()
 		stagedJobs, fused := w.stageUploaded(s, cur)
+		s.spanEnd(w.ring, est, w.track, "exec", catExec, s.className(cur.batch[0].class), cur.batch[0].bid, len(cur.batch))
 		s.stepsDone(cur.batch, fused)
 		pendCur := w.submitBatchDownload(s, cur.batch[0].class, stagedJobs)
 		if pend != nil {
@@ -1142,8 +1243,10 @@ func (w *worker) uploadBatch(s *Scheduler, batch []*task) (ub *uploadedBatch) {
 	}
 	var devs []*core.Ciphertext
 	if len(hosts) > 0 {
+		h2d := s.spanBegin()
 		var bytes int64
 		devs, bytes, ub.ev = w.ctx.UploadBatch(hosts)
+		s.spanEnd(w.ring, h2d, w.track, "h2d", catXfer, s.className(batch[0].class), batch[0].bid, len(batch))
 		s.transferDone(batch[0].class, bytes, 0)
 	}
 	ub.ins = make([][]*core.Ciphertext, len(batch))
@@ -1215,6 +1318,7 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 		}
 	}
 	if any {
+		d2h := s.spanBegin()
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
@@ -1234,6 +1338,7 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 			pb.ev = ev
 			s.transferDone(class, 0, bytes)
 		}()
+		s.spanEnd(w.ring, d2h, w.track, "d2h", catXfer, s.className(class), stagedJobs[0].t.bid, len(stagedJobs))
 	}
 	for _, sj := range stagedJobs {
 		w.freeAll(sj)
@@ -1246,13 +1351,22 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 // only host synchronization) and completes every future, accounting
 // each job against the batch's own completion stamp.
 func (w *worker) resolveBatch(s *Scheduler, pb *pendingBatch) {
+	// Attribute the copy stall: simulated time the host spent waiting
+	// out the batch's in-flight download (the wait advances the host
+	// clock to the copy event plus the sync cost).
+	before := s.backend.SimulatedSeconds()
 	pb.ev.Wait()
+	if d := s.backend.SimulatedSeconds() - before; d > 0 {
+		s.met.stallCopyNS.Add(int64(d * 1e9))
+	}
+	st := s.spanBegin()
 	for _, sj := range pb.staged {
 		s.releaseDeps(sj.t)
 		sj.t.fut.finish(sj.err)
 		w.pending.Add(-1)
 		s.jobDone(w, sj.t, sj.err != nil, len(pb.staged), pb.done)
 	}
+	s.spanEnd(w.ring, st, w.track, "settle", catSettle, s.className(pb.staged[0].t.class), pb.staged[0].t.bid, len(pb.staged))
 }
 
 // transferDone accounts one gathered transfer submission against the
@@ -1264,6 +1378,9 @@ func (s *Scheduler) transferDone(class int, h2d, d2h int64) {
 	s.stats.BytesD2H += d2h
 	s.classStat[class].TransferBatches++
 	s.statMu.Unlock()
+	s.met.transferBatches.Add(1)
+	s.met.bytesH2D.Add(h2d)
+	s.met.bytesD2H.Add(d2h)
 }
 
 // stepsDone accounts the batch's op-chain steps as fused (one widened
@@ -1278,6 +1395,12 @@ func (s *Scheduler) stepsDone(batch []*task, fused bool) {
 		s.stats.UnfusedSteps += steps * int64(len(batch))
 	}
 	s.statMu.Unlock()
+	if fused {
+		s.met.fusedBatches.Add(1)
+		s.met.fusedSteps.Add(steps)
+	} else {
+		s.met.unfusedSteps.Add(steps * int64(len(batch)))
+	}
 }
 
 // evalChain uploads a job's inputs and submits its whole op chain on
@@ -1294,7 +1417,7 @@ func evalChain(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey,
 	for _, in := range job.Inputs {
 		vals = append(vals, c.Upload(in))
 	}
-	return evalChainOn(c, rlk, gks, job, vals)
+	return evalChainOn(c, rlk, gks, job, vals, nil)
 }
 
 // evalChainOn submits a job's whole op chain over already
@@ -1303,7 +1426,7 @@ func evalChain(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey,
 // every value stays allocated until the caller frees it: later ops of
 // a DAG-shaped job may reference any earlier value. On panic the
 // partial value list (inputs included) is returned with the error.
-func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job, ins []*core.Ciphertext) (vals []*core.Ciphertext, err error) {
+func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job, ins []*core.Ciphertext, tr *stepTrace) (vals []*core.Ciphertext, err error) {
 	vals = ins
 	stage := 0
 	defer func() {
@@ -1313,6 +1436,7 @@ func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKe
 	}()
 	for i, op := range job.Ops {
 		stage = i
+		sst := tr.begin()
 		var r *core.Ciphertext
 		switch op.Code {
 		case OpAdd:
@@ -1332,6 +1456,7 @@ func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKe
 		case OpModSwitch:
 			r = c.ModSwitch(vals[op.A])
 		}
+		tr.end(sst, op.Code.String(), 1)
 		vals = append(vals, r)
 	}
 	return vals, nil
@@ -1374,12 +1499,14 @@ func (w *worker) stageIns(t *task) (ins []*core.Ciphertext, err error) {
 // stage runs a job's chain on the worker's private context.
 func (w *worker) stage(s *Scheduler, t *task) *staged {
 	sj := &staged{t: t}
+	h2d := s.spanBegin()
 	ins, err := w.stageIns(t)
+	s.spanEnd(w.ring, h2d, w.track, "h2d", catXfer, s.className(t.class), t.bid, 1)
 	if err != nil {
 		sj.err = err
 		return sj
 	}
-	sj.vals, sj.err = evalChainOn(w.ctx, s.rlk, s.gks, t.job, ins)
+	sj.vals, sj.err = evalChainOn(w.ctx, s.rlk, s.gks, t.job, ins, w.tr)
 	if sj.err != nil {
 		w.freeAll(sj)
 	}
@@ -1390,7 +1517,7 @@ func (w *worker) stage(s *Scheduler, t *task) *staged {
 // ownership of them (freed on error along with the intermediates).
 func (w *worker) stageOn(s *Scheduler, t *task, ins []*core.Ciphertext) *staged {
 	sj := &staged{t: t}
-	sj.vals, sj.err = evalChainOn(w.ctx, s.rlk, s.gks, t.job, ins)
+	sj.vals, sj.err = evalChainOn(w.ctx, s.rlk, s.gks, t.job, ins, w.tr)
 	if sj.err != nil {
 		w.freeAll(sj)
 	}
@@ -1406,6 +1533,7 @@ func (w *worker) stageOn(s *Scheduler, t *task, ins []*core.Ciphertext) *staged 
 // first wait had already synchronized the host past every compute
 // event.
 func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
+	d2h := s.spanBegin()
 	var last gpu.Event
 	for _, sj := range stagedJobs {
 		// Settle first: outputs with registered consumers stay
@@ -1417,8 +1545,14 @@ func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
 			last = ev
 		}
 	}
+	before := s.backend.SimulatedSeconds()
 	last.Wait()
 	done := s.backend.SimulatedSeconds()
+	if d := done - before; d > 0 {
+		s.met.stallCopyNS.Add(int64(d * 1e9))
+	}
+	s.spanEnd(w.ring, d2h, w.track, "d2h", catXfer, s.className(stagedJobs[0].t.class), stagedJobs[0].t.bid, len(stagedJobs))
+	st := s.spanBegin()
 	for _, sj := range stagedJobs {
 		w.freeAll(sj)
 		s.releaseDeps(sj.t)
@@ -1426,6 +1560,7 @@ func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
 		w.pending.Add(-1)
 		s.jobDone(w, sj.t, sj.err != nil, len(stagedJobs), done)
 	}
+	s.spanEnd(w.ring, st, w.track, "settle", catSettle, s.className(stagedJobs[0].t.class), stagedJobs[0].t.bid, len(stagedJobs))
 }
 
 // submitDownload submits one job's result copies without waiting.
@@ -1480,6 +1615,18 @@ func (s *Scheduler) jobDone(w *worker, t *task, failed bool, batchLen int, done 
 	}
 	s.stats.PerWorker[w.id]++
 	s.statMu.Unlock()
+	s.met.jobsCompleted.Add(1)
+	if failed {
+		s.met.jobsFailed.Add(1)
+	}
+	if batchLen >= 2 {
+		s.met.coalesced.Add(1)
+	}
+	// Service time: dispatch to completion on the simulated clock (the
+	// queueing-delay histogram covers submit to dispatch).
+	if svc := done - t.disp; svc >= 0 {
+		s.met.serviceTime[t.class].Observe(svc)
+	}
 	s.outMu.Lock()
 	s.outstanding--
 	s.outWork -= t.work()
@@ -1504,4 +1651,5 @@ func (s *Scheduler) batchStarted(class, n int) {
 		cs.MaxBatch = n
 	}
 	s.statMu.Unlock()
+	s.met.batches.Add(1)
 }

@@ -109,10 +109,12 @@
 // device's per-tile copy engine so transfers overlap with compute,
 // and workers double-buffer one batch ahead — while batch k computes,
 // batch k+1's inputs upload, and finished results wait out their copy
-// while the next batch's kernels launch (see `make bench-transfer`):
+// while the next batch's kernels launch. The fused pipeline is on by
+// default; set ToggleOff for the unfused-transfer baseline (see
+// `make bench-transfer`):
 //
 //	svc := xehe.NewService(params, kit, xehe.Device1,
-//		xehe.ServiceConfig{Workers: 2, FuseTransfers: xehe.ToggleOn})
+//		xehe.ServiceConfig{Workers: 2, FuseTransfers: xehe.ToggleOff})
 //
 // # Job graphs with device-resident intermediates
 //
@@ -147,6 +149,41 @@
 // ResidentHits/ResidentMisses count the edges and how many resolved
 // on-device.
 //
+// # Observability
+//
+// A tracing and metrics subsystem (internal/obs) watches the whole
+// pipeline. Enable span tracing with ServiceConfig.Trace and export
+// the merged timeline — job-lifecycle spans (admit, pending-queue
+// residency, batch formation, H2D, per-op chain steps, D2H, settle)
+// interleaved with the simulated device's per-tile compute and copy
+// command tracks — as Chrome-trace-event JSON, loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing:
+//
+//	svc := xehe.NewService(params, kit, xehe.Device1,
+//		xehe.ServiceConfig{Trace: xehe.TraceConfig{Enabled: xehe.ToggleOn}})
+//	// ... submit work ...
+//	svc.Wait()
+//	f, _ := os.Create("trace.json")
+//	svc.WriteTrace(f) // one track per worker, QoS queue, and device tile
+//
+// Spans are stamped with both the simulated clock (the trace
+// timeline) and wall clock, and recorded into bounded per-worker ring
+// buffers that drop the oldest spans under pressure (TraceCounts
+// reports the loss). Tracing only reads the simulated clocks, so
+// results and simulated timing are bit-for-bit identical with tracing
+// on or off; with the knob off the span sites reduce to a nil check
+// (measured via `make bench-trace`, which records tracing-on vs -off
+// throughput into the benchmark JSON).
+//
+// Independently of tracing, Service.Metrics and Cluster.Metrics
+// snapshot an always-on typed metrics registry: the Stats counters as
+// named instruments plus per-class queueing-delay and service-time
+// histograms, worker idle/stall attribution, memory-cache and
+// staging-pool occupancy gauges, and steal/reroute counters. A
+// Metrics snapshot marshals to JSON and pretty-prints with WriteText;
+// cluster snapshots merge the per-shard registries instrument by
+// instrument.
+//
 // The correctness of the concurrent and sharded paths is pinned by a
 // differential harness (internal/sched): randomized job chains must
 // reproduce the serial single-queue pipeline bit-for-bit — regardless
@@ -165,10 +202,13 @@
 package xehe
 
 import (
+	"io"
+
 	"xehe/internal/ckks"
 	"xehe/internal/core"
 	"xehe/internal/gpu"
 	"xehe/internal/ntt"
+	"xehe/internal/obs"
 	"xehe/internal/qos"
 	"xehe/internal/sched"
 )
@@ -430,6 +470,23 @@ type Pending = sched.Future
 // cache hit rates.
 type ServiceStats = sched.Stats
 
+// TraceConfig enables span tracing on a Service or Cluster (via
+// ServiceConfig.Trace / ClusterConfig.Trace) and bounds its ring
+// buffers. The zero value keeps tracing off.
+type TraceConfig = sched.TraceConfig
+
+// Metrics is a point-in-time snapshot of the typed metrics registry
+// (Service.Metrics / Cluster.Metrics): counters mirroring the Stats
+// fields, per-class queueing-delay and service-time histograms, worker
+// idle/stall attribution and pool occupancy gauges. It marshals to
+// JSON directly and pretty-prints with WriteText; Get looks up one
+// instrument by name (e.g. "sched.jobs_completed").
+type Metrics = obs.Snapshot
+
+// MetricsInstrument is one instrument of a Metrics snapshot; histogram
+// instruments estimate quantiles via Quantile.
+type MetricsInstrument = obs.Instrument
+
 // Toggle is a three-state boolean knob for the Fuse* config fields:
 // the zero value (ToggleDefault) selects the knob's documented
 // default, so defaults can flip across releases while both states
@@ -479,8 +536,10 @@ type ServiceConfig struct {
 	// with FuseKernels (fused kernels + fused transfers is the fastest
 	// configuration). Results are bit-for-bit identical either way
 	// (see ServiceStats.TransferBatches/BytesH2D/BytesD2H for the
-	// coalescing effectiveness). Default off. See ARCHITECTURE.md for
-	// the transfer pipeline.
+	// coalescing effectiveness). Default ON (flipped after the transfer
+	// pipeline soaked bit-identical for a PR cycle); set ToggleOff for
+	// the unfused-transfer baseline. See ARCHITECTURE.md for the
+	// transfer pipeline.
 	FuseTransfers Toggle
 	// PendingCap bounds the pending queue (jobs accepted but not yet
 	// dispatched — the pool the QoS policy reorders); class admission
@@ -509,6 +568,10 @@ type ServiceConfig struct {
 	// parallelism comes from the pool, so DualTile is ignored either
 	// way.)
 	Backend *Config
+	// Trace enables span tracing (job-lifecycle spans plus the device
+	// command trace; see the Observability section of the package
+	// documentation). The zero value keeps tracing off.
+	Trace TraceConfig
 }
 
 func (sc ServiceConfig) schedConfig() sched.Config {
@@ -528,6 +591,7 @@ func (sc ServiceConfig) schedConfig() sched.Config {
 		Aging:         sc.Aging,
 		WarmBuffers:   sc.WarmBuffers,
 		Core:          backend,
+		Trace:         sc.Trace,
 	}
 }
 
@@ -566,6 +630,20 @@ func (s *Service) Close() { s.s.Close() }
 
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() ServiceStats { return s.s.Stats() }
+
+// Metrics snapshots the service's typed metrics registry (always on,
+// independent of tracing).
+func (s *Service) Metrics() Metrics { return s.s.Metrics() }
+
+// WriteTrace exports the service's recorded timeline as
+// Chrome-trace-event JSON (see the Observability section of the
+// package documentation). It returns ErrTraceDisabled when the
+// service was built without ServiceConfig.Trace enabled.
+func (s *Service) WriteTrace(w io.Writer) error { return s.s.WriteTrace(w) }
+
+// TraceCounts reports how many spans the service has recorded and how
+// many the bounded rings dropped (both zero with tracing off).
+func (s *Service) TraceCounts() (recorded, dropped int64) { return s.s.TraceCounts() }
 
 // SimulatedSeconds returns the simulated wall-clock consumed on the
 // device so far (the busiest of host and tile timelines).
@@ -644,6 +722,10 @@ var ErrOverloaded = sched.ErrOverloaded
 // host copy alongside the device-resident hand-off.
 var ErrResultDiscarded = sched.ErrResultDiscarded
 
+// ErrTraceDisabled is returned by WriteTrace on a Service (or Cluster)
+// built without TraceConfig.Enabled.
+var ErrTraceDisabled = sched.ErrTraceDisabled
+
 // Submit validates and enqueues a job on the least-loaded open shard.
 // It blocks when that shard's pipeline is saturated (backpressure) and
 // returns an error for malformed jobs, ErrClosed after Close, or
@@ -669,6 +751,18 @@ func (c *Cluster) Close() { c.cl.Close() }
 
 // Stats returns a snapshot of the aggregate and per-shard counters.
 func (c *Cluster) Stats() ClusterStats { return c.cl.Stats() }
+
+// Metrics merges every shard's metrics snapshot with the cluster's own
+// routing counters (always on, independent of tracing).
+func (c *Cluster) Metrics() Metrics { return c.cl.Metrics() }
+
+// WriteTrace exports the cluster's recorded timeline as one
+// Chrome-trace process per shard. It returns ErrTraceDisabled when no
+// shard was built with tracing enabled.
+func (c *Cluster) WriteTrace(w io.Writer) error { return c.cl.WriteTrace(w) }
+
+// TraceCounts sums recorded and dropped span totals over every shard.
+func (c *Cluster) TraceCounts() (recorded, dropped int64) { return c.cl.TraceCounts() }
 
 // Shards returns the number of devices in the cluster.
 func (c *Cluster) Shards() int { return c.cl.Shards() }
