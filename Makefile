@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-graph bench-trace bench-record clean
+.PHONY: all build vet fmt-check test test-race bench bench-smoke bench-service bench-cluster bench-fusion bench-transfer bench-graph bench-trace bench-chaos bench-record clean
 
 all: build test
 
@@ -76,10 +76,19 @@ bench-graph:
 bench-trace:
 	$(GO) run ./cmd/xehe-bench -traceoverhead 200 -json
 
+# Fault-recovery smoke: the no-fault vs kill+addshard rows over a
+# 3-node Device1 cluster (shard 0 fail-stopped at 25%, replacement
+# added on a fresh node). The sweep exits non-zero unless every
+# chaos-run result is bit-identical to the no-fault run AND recovered
+# simulated throughput stays >= 80% of the baseline, so a regression
+# in surrender/replay or elastic AddShard fails CI quickly.
+bench-chaos:
+	$(GO) run ./cmd/xehe-bench -chaos 200 -json
+
 # Record the bench trajectory: the standard 500-job cluster + mixed
-# QoS + fusion + transfer + graph-residency + trace-overhead sweep,
-# machine-readable, written to the repo root (CI uploads it as an
-# artifact so the trajectory is preserved per commit).
+# QoS + fusion + transfer + graph-residency + trace-overhead +
+# fault-recovery sweep, machine-readable, written to the repo root (CI
+# uploads it as an artifact so the trajectory is preserved per commit).
 bench-record:
 	$(GO) run ./cmd/xehe-bench -cluster 500 -json > BENCH_cluster.json
 	@wc -l BENCH_cluster.json

@@ -25,6 +25,131 @@ type Device struct {
 
 	traceOn bool
 	trace   []TraceEntry
+
+	link *link // non-nil when the device sits across a network hop
+}
+
+// link models the network hop between the submitting host and a device
+// on a remote node. Every wire-format submission pays the one-way
+// latency before the command can start, transfer payloads additionally
+// pay the bandwidth leg, and completion syncs pay the latency on the
+// way back. Injected faults (delay/drop) perturb only the timeline —
+// payloads are never corrupted, so results stay bit-identical and the
+// recovery invariant is checkable end to end.
+type link struct {
+	latency Cycles  // one-way wire latency per crossing
+	bpc     float64 // payload bandwidth in bytes per device cycle (0 = latency-only)
+
+	delay  Cycles // injected extra latency while delayN > 0
+	delayN int64  // remaining hops that pay delay
+	dropN  int64  // remaining hops that are dropped and retransmitted
+
+	hops    int64 // forward crossings priced
+	delayed int64
+	dropped int64
+	cycles  Cycles // total link cycles charged on forward crossings
+}
+
+// hop prices one forward crossing, consuming injected faults: a dropped
+// hop is retransmitted (the lost attempt plus the retry each pay the
+// wire latency), a delayed hop pays the injected extra on top.
+func (l *link) hop() Cycles {
+	c := l.latency
+	if l.dropN > 0 {
+		l.dropN--
+		l.dropped++
+		c += 2 * l.latency
+	}
+	if l.delayN > 0 {
+		l.delayN--
+		l.delayed++
+		c += l.delay
+	}
+	l.hops++
+	l.cycles += c
+	return c
+}
+
+// LinkStats is a snapshot of a remote device's network-hop counters.
+type LinkStats struct {
+	Hops      int64  // forward crossings priced (submits; copies pay one each)
+	Delayed   int64  // crossings that consumed an injected delay
+	Dropped   int64  // crossings that consumed an injected drop (retransmitted)
+	HopCycles Cycles // total link cycles charged on forward crossings
+}
+
+// SetLink places the device across a simulated network hop: every
+// wire-format submission delays command arrival by the one-way latency,
+// transfer payloads pay latency plus bytes/bandwidth, and host syncs
+// pay the latency on the completion's way back. Zero latency and
+// bandwidth restore the host-local fast path.
+func (d *Device) SetLink(latency Cycles, bytesPerCycle float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if latency == 0 && bytesPerCycle == 0 {
+		d.link = nil
+		return
+	}
+	d.link = &link{latency: latency, bpc: bytesPerCycle}
+}
+
+// Remote reports whether the device sits across a network hop.
+func (d *Device) Remote() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.link != nil
+}
+
+// ensureLinkLocked lets faults be injected even on a host-local device
+// (a zero-latency link that only the injected perturbations price).
+func (d *Device) ensureLinkLocked() *link {
+	if d.link == nil {
+		d.link = &link{}
+	}
+	return d.link
+}
+
+// InjectLinkDelay makes the next hops forward crossings pay extra link
+// cycles each — a congested or degraded hop.
+func (d *Device) InjectLinkDelay(extra Cycles, hops int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	l := d.ensureLinkLocked()
+	l.delay = extra
+	l.delayN += hops
+}
+
+// InjectLinkDrop drops the next hops forward crossings: each is
+// retransmitted, pricing the lost attempt and the retry. Timing-plane
+// only — no payload is lost, so results are unchanged.
+func (d *Device) InjectLinkDrop(hops int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ensureLinkLocked().dropN += hops
+}
+
+// LinkStats returns the hop counters (zero for a host-local device).
+func (d *Device) LinkStats() LinkStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.link == nil {
+		return LinkStats{}
+	}
+	return LinkStats{Hops: d.link.hops, Delayed: d.link.delayed,
+		Dropped: d.link.dropped, HopCycles: d.link.cycles}
+}
+
+// linkLeg prices the bandwidth leg of an n-byte payload crossing the
+// link (the latency leg is charged by the submission's wire hop).
+func (d *Device) linkLeg(n int64) Cycles {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.link == nil || d.link.bpc <= 0 {
+		return 0
+	}
+	c := float64(n) / d.link.bpc
+	d.link.cycles += c
+	return c
 }
 
 // TraceEntry records one submitted command for profiling (Fig. 5's
@@ -63,6 +188,9 @@ func (d *Device) Reset() {
 	d.allocated = 0
 	d.peakAlloc = 0
 	d.allocs = 0
+	if d.link != nil {
+		d.link = &link{latency: d.link.latency, bpc: d.link.bpc}
+	}
 }
 
 // ResetClocks clears only the simulated clocks, preserving allocation
@@ -220,8 +348,12 @@ func (e Event) Wait() {
 	}
 	e.dev.mu.Lock()
 	defer e.dev.mu.Unlock()
-	if e.done > e.dev.hostTime {
-		e.dev.hostTime = e.done
+	seen := e.done
+	if l := e.dev.link; l != nil {
+		seen += l.latency // completion crosses the hop back to the host
+	}
+	if seen > e.dev.hostTime {
+		e.dev.hostTime = seen
 	}
 	e.dev.hostTime += e.dev.Spec.HostSyncCycles
 }
@@ -303,13 +435,19 @@ func (q *Queue) submitOn(name string, dur Cycles, copyEngine bool, deps ...Event
 	rawDur := dur
 	d.mu.Lock()
 	d.hostTime += d.Spec.HostSubmitCycles
+	arrive := d.hostTime
+	if d.link != nil {
+		// The wire-format command streams across the hop: the host is
+		// not stalled, but the command cannot start before it arrives.
+		arrive += d.link.hop()
+	}
 	tl := d.tileTime
 	if copyEngine {
 		tl = d.copyTime
 	}
 	start := tl[q.tile]
-	if d.hostTime > start {
-		start = d.hostTime // commands cannot start before enqueue
+	if arrive > start {
+		start = arrive // commands cannot start before enqueue + hop
 	}
 	for _, dep := range deps {
 		if dep.done > start {
@@ -345,13 +483,15 @@ func (q *Queue) SubmitProfile(p KernelProfile, cg isa.CodeGen, deps ...Event) Ev
 // queue (SetCopyEngine) of a copy-engine device it lands on the copy
 // timeline and overlaps with compute.
 func (q *Queue) CopyH2D(n int64, deps ...Event) Event {
-	return q.submitOn("memcpy_h2d", float64(n)/q.dev.Spec.PCIeBytesPerCycle, q.copyQ, deps...)
+	dur := float64(n)/q.dev.Spec.PCIeBytesPerCycle + q.dev.linkLeg(n)
+	return q.submitOn("memcpy_h2d", dur, q.copyQ, deps...)
 }
 
 // CopyD2H enqueues a device-to-host transfer of n bytes (copy-engine
 // placement as CopyH2D).
 func (q *Queue) CopyD2H(n int64, deps ...Event) Event {
-	return q.submitOn("memcpy_d2h", float64(n)/q.dev.Spec.PCIeBytesPerCycle, q.copyQ, deps...)
+	dur := float64(n)/q.dev.Spec.PCIeBytesPerCycle + q.dev.linkLeg(n)
+	return q.submitOn("memcpy_d2h", dur, q.copyQ, deps...)
 }
 
 // Wait drains the queue (host waits for the last submitted command).

@@ -1,0 +1,98 @@
+package gpu
+
+import (
+	"testing"
+
+	"xehe/internal/isa"
+)
+
+// TestLinkHopDelaysArrival pins the remote-hop cost model: with a link
+// configured, every wire-format submission arrives one latency later
+// than the host issued it, and the completion sync pays the latency
+// again on the way back — so an otherwise identical workload finishes
+// strictly later than on a host-local device.
+func TestLinkHopDelaysArrival(t *testing.T) {
+	local, remote := NewDevice1(), NewDevice1()
+	const lat = 50000.0
+	remote.SetLink(lat, 0)
+
+	p := KernelProfile{Items: 1, GlobalBytes: 1e6, Pattern: PatternUnitStride}
+	el := local.NewQueue(0).SubmitProfile(p, isa.CompilerGenerated)
+	er := remote.NewQueue(0).SubmitProfile(p, isa.CompilerGenerated)
+	if er.Done() < el.Done()+lat {
+		t.Errorf("remote kernel done at %g, want >= local %g + latency %g", er.Done(), el.Done(), lat)
+	}
+	el.Wait()
+	er.Wait()
+	// One latency on the submission's way out, one on the sync's way
+	// back.
+	if remote.HostTime() < local.HostTime()+2*lat {
+		t.Errorf("remote host time %g, want >= local %g + 2*latency", remote.HostTime(), local.HostTime())
+	}
+	ls := remote.LinkStats()
+	if ls.Hops != 1 || ls.HopCycles != lat {
+		t.Errorf("link stats = %+v, want 1 hop of %g cycles", ls, lat)
+	}
+	if local.LinkStats() != (LinkStats{}) {
+		t.Errorf("local device reports link traffic: %+v", local.LinkStats())
+	}
+}
+
+// TestLinkFaultInjection pins the fault hooks: an injected delay adds
+// exactly the extra cycles to the next crossing, a drop retransmits
+// (two extra one-way latencies), both are consumed once, and the
+// counters record them. The hooks also work on a device with no
+// configured link (a zero-latency one is materialized), so local
+// shards can be degraded too.
+func TestLinkFaultInjection(t *testing.T) {
+	d := NewDevice1()
+	const lat = 1000.0
+	d.SetLink(lat, 0)
+	d.InjectLinkDelay(5000, 1)
+	d.InjectLinkDrop(1)
+
+	q := d.NewQueue(0)
+	p := KernelProfile{Items: 1, GlobalBytes: 1e6, Pattern: PatternUnitStride}
+	q.SubmitProfile(p, isa.CompilerGenerated).Wait()
+	ls := d.LinkStats()
+	// base latency + 2*latency retransmit + 5000 injected delay.
+	if ls.Hops != 1 || ls.Delayed != 1 || ls.Dropped != 1 || ls.HopCycles != lat+2*lat+5000 {
+		t.Errorf("after faulted hop: stats = %+v, want 1 hop / 1 delayed / 1 dropped / %g cycles", ls, lat+2*lat+5000)
+	}
+
+	// Faults are one-shot: the next crossing pays only the base latency.
+	q.SubmitProfile(p, isa.CompilerGenerated).Wait()
+	ls2 := d.LinkStats()
+	if ls2.Hops != 2 || ls2.Delayed != 1 || ls2.Dropped != 1 || ls2.HopCycles != ls.HopCycles+lat {
+		t.Errorf("after clean hop: stats = %+v, want 2 hops and +%g cycles over %+v", ls2, lat, ls)
+	}
+
+	// Injection on a link-less device materializes a zero-latency link.
+	loc := NewDevice1()
+	loc.InjectLinkDelay(700, 1)
+	loc.NewQueue(0).SubmitProfile(p, isa.CompilerGenerated).Wait()
+	if ls := loc.LinkStats(); ls.Delayed != 1 || ls.HopCycles != 700 {
+		t.Errorf("local-device delay injection: stats = %+v, want 1 delayed hop of 700 cycles", ls)
+	}
+}
+
+// TestLinkSurvivesReset pins Reset semantics: the link configuration
+// (it models topology, not state) survives, the counters and pending
+// faults do not.
+func TestLinkSurvivesReset(t *testing.T) {
+	d := NewDevice1()
+	const lat = 2000.0
+	d.SetLink(lat, 1)
+	d.InjectLinkDrop(3)
+	p := KernelProfile{Items: 1, GlobalBytes: 1e6, Pattern: PatternUnitStride}
+	d.NewQueue(0).SubmitProfile(p, isa.CompilerGenerated).Wait()
+
+	d.Reset()
+	if ls := d.LinkStats(); ls != (LinkStats{}) {
+		t.Errorf("counters survived Reset: %+v", ls)
+	}
+	d.NewQueue(0).SubmitProfile(p, isa.CompilerGenerated).Wait()
+	if ls := d.LinkStats(); ls.Hops != 1 || ls.Dropped != 0 || ls.HopCycles != lat {
+		t.Errorf("post-Reset hop stats = %+v, want clean 1 hop of %g cycles (config kept, faults cleared)", ls, lat)
+	}
+}

@@ -32,6 +32,17 @@ const defaultStealInterval = 200 * time.Microsecond
 // device's peak throughput (gpu.ClusterWeight), so a fast device
 // absorbs proportionally more of a uniform load.
 //
+// Shards may live on simulated remote nodes (RemoteBackend): the node
+// id is the shard's failure domain, and the fault plane (Faults) can
+// fail-stop a shard mid-batch, degrade its network hop, or corrupt its
+// health checks. The cluster recovers by re-routing the killed shard's
+// queued backlog and replaying its surrendered in-flight jobs from
+// host-side inputs on a healthy shard; the kernels are deterministic,
+// so every replay is bit-identical to the serial path (pinned by the
+// chaos differential tests). Routing is health-checked — shards whose
+// probes fail stop receiving new work — and the shard set is elastic:
+// AddShard grows it at runtime, CloseShard retires members.
+//
 // Routing is class-aware: latency-sensitive classes go to the shard
 // with the least expected wait (outstanding weighted work divided by
 // the shard's throughput weight), everything else to the classic
@@ -43,13 +54,20 @@ const defaultStealInterval = 200 * time.Microsecond
 //
 // Jobs are independent, so any shard may execute any job; the simulated
 // kernels are deterministic, which makes results identical regardless
-// of the routing and stealing decisions (pinned by the cluster
-// differential test). All methods are safe for concurrent use.
+// of the routing, stealing and replay decisions (pinned by the cluster
+// differential tests). All methods are safe for concurrent use.
 type Cluster struct {
 	params *ckks.Parameters
-	shards []*shard
+	cfg    Config
+	rlk    *ckks.RelinKey
+	gks    map[int]*ckks.GaloisKey
 
-	mu        sync.RWMutex // guards closed vs in-flight Submit routing
+	// shardsVal holds the current []*shard snapshot, published
+	// copy-on-write under mu (AddShard appends, nothing ever removes),
+	// so the hot paths iterate lock-free over an immutable slice.
+	shardsVal atomic.Value
+
+	mu        sync.RWMutex // guards closed + shard-list growth vs Submit
 	closed    bool
 	closeDone chan struct{}
 
@@ -58,74 +76,245 @@ type Cluster struct {
 	// counters also tick for jobs that found a home elsewhere).
 	rejected []atomic.Int64
 
-	// stealMu serializes task migration (monitor rounds, CloseShard
-	// re-routes) against shard retirement, so a stolen task can never
-	// be left without an open scheduler to land on.
+	// stealMu serializes task migration (monitor rounds, CloseShard and
+	// killShard re-routes, surrender recovery) against shard
+	// retirement, so a migrated task can never be left without an open
+	// scheduler to land on.
 	stealMu   sync.Mutex
 	stopSteal chan struct{}
 	stealWg   sync.WaitGroup
+	stealing  bool // monitor running (guarded by mu)
 
-	// obsReg holds the cluster's own instruments (routing events the
-	// shards cannot see); Metrics merges it with the shard registries.
-	obsReg   *obs.Registry
-	rerouted *obs.Counter
-	shed     *obs.Counter
+	faults *FaultPlane
+
+	// obsReg holds the cluster's own instruments (routing and recovery
+	// events the shards cannot see); Metrics merges it with the shard
+	// registries.
+	obsReg    *obs.Registry
+	rerouted  *obs.Counter
+	shed      *obs.Counter
+	recovered *obs.Counter
+	replayed  *obs.Counter
+	killedCnt *obs.Counter
+	addedCnt  *obs.Counter
 }
 
-// shard is one device's scheduler plus its routing state.
+// shard is one device's scheduler plus its routing and health state.
 type shard struct {
 	id     int
+	node   int // failure domain (remote node id; shards share fate per node)
 	sched  *Scheduler
 	weight float64
-	closed atomic.Bool  // out of rotation (CloseShard or cluster Close)
+	closed atomic.Bool  // out of rotation (CloseShard, killShard or cluster Close)
+	killed atomic.Bool  // fail-stopped by the fault plane (implies closed)
 	routed atomic.Int64 // jobs ever routed here
-	stolen atomic.Int64 // jobs migrated here by the stealing monitor
+	stolen atomic.Int64 // jobs migrated here (stealing, evacuation, replay)
+
+	// Fault-plane state: sick is the health-probe corruption budget
+	// (each failed probe consumes one unit), killAfter the armed
+	// batches-until-kill countdown (0 = disarmed).
+	sick      atomic.Int64
+	killAfter atomic.Int64
 }
 
-// NewCluster builds a router over one scheduler per device. cfg applies
-// per shard; a zero Workers count defaults to each device's own tile
-// count, so heterogeneous devices get differently sized pools. The
-// rotation-key lookup table is replicated per shard at construction
-// (each shard's scheduler owns its own map; the key material itself is
-// immutable host-side data, shared read-only). On real hardware this
-// construction step is where each device would receive its own key
-// upload.
+// probe runs one health check against the shard: false while it is out
+// of rotation or its corruption budget (FaultPlane.CorruptHealth,
+// degraded-link marks) holds, consuming one budget unit per failed
+// probe.
+func (sh *shard) probe() bool {
+	if sh.closed.Load() {
+		return false
+	}
+	for {
+		n := sh.sick.Load()
+		if n <= 0 {
+			return true
+		}
+		if sh.sick.CompareAndSwap(n, n-1) {
+			return false
+		}
+	}
+}
+
+// health classifies the shard for operators: "killed" (fail-stopped),
+// "closed" (retired), "sick" (health probes failing) or "ok".
+func (sh *shard) health() string {
+	switch {
+	case sh.killed.Load():
+		return "killed"
+	case sh.closed.Load():
+		return "closed"
+	case sh.sick.Load() > 0:
+		return "sick"
+	}
+	return "ok"
+}
+
+// maybeKill is the fault plane's deterministic mid-batch kill point
+// (Scheduler.batchHook): armed by KillShardAfter(i, n), the n-th batch
+// to start on the shard kills it from the worker goroutine itself —
+// after the batch was counted started, before any of it settles — so a
+// chaos schedule reproduces exactly.
+func (sh *shard) maybeKill(c *Cluster) {
+	for {
+		n := sh.killAfter.Load()
+		if n <= 0 {
+			return
+		}
+		if !sh.killAfter.CompareAndSwap(n, n-1) {
+			continue
+		}
+		if n == 1 {
+			c.killShard(sh.id)
+		}
+		return
+	}
+}
+
+// ShardSpec describes one shard of a cluster: its execution backend
+// and the failure domain (node id) it lives in. A RemoteBackend's hop
+// is priced by the device itself; the spec's Node groups shards that
+// share fate (FaultPlane.KillNode).
+type ShardSpec struct {
+	Backend Backend
+	Node    int
+}
+
+// NewCluster builds a router over one scheduler per device, each on
+// its own node (failure domain = shard index). cfg applies per shard;
+// a zero Workers count defaults to each device's own tile count, so
+// heterogeneous devices get differently sized pools.
 func NewCluster(params *ckks.Parameters, devs []*gpu.Device, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Cluster {
-	if len(devs) == 0 {
-		panic("sched: cluster needs at least one device")
+	specs := make([]ShardSpec, len(devs))
+	for i, dev := range devs {
+		specs[i] = ShardSpec{Backend: NewDeviceBackend(dev, cfg.Core.MemCache), Node: i}
+	}
+	return NewClusterShards(params, specs, cfg, rlk, gks)
+}
+
+// NewClusterShards builds a router over arbitrary shard backends —
+// local DeviceBackends, RemoteBackends on simulated nodes, or a mix.
+// The rotation-key lookup table is replicated per shard at
+// construction (each shard's scheduler owns its own map; the key
+// material itself is immutable host-side data, shared read-only). On
+// real hardware this construction step is where each device would
+// receive its own key upload.
+func NewClusterShards(params *ckks.Parameters, specs []ShardSpec, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Cluster {
+	if len(specs) == 0 {
+		panic("sched: cluster needs at least one shard")
 	}
 	c := &Cluster{
 		params:    params,
+		cfg:       cfg,
+		rlk:       rlk,
+		gks:       gks,
 		closeDone: make(chan struct{}),
 		stopSteal: make(chan struct{}),
 		obsReg:    obs.NewRegistry(),
 	}
 	c.rerouted = c.obsReg.Counter("cluster.rerouted_jobs")
 	c.shed = c.obsReg.Counter("cluster.shed_jobs")
-	for i, dev := range devs {
-		replica := make(map[int]*ckks.GaloisKey, len(gks))
-		for k, v := range gks {
-			replica[k] = v
-		}
-		c.shards = append(c.shards, &shard{
-			id:     i,
-			sched:  New(params, dev, cfg, rlk, replica),
-			weight: gpu.ClusterWeight(&dev.Spec),
-		})
+	c.recovered = c.obsReg.Counter("cluster.recovered_jobs")
+	c.replayed = c.obsReg.Counter("cluster.replayed_jobs")
+	c.killedCnt = c.obsReg.Counter("cluster.killed_shards")
+	c.addedCnt = c.obsReg.Counter("cluster.added_shards")
+	c.faults = &FaultPlane{c: c}
+	shards := make([]*shard, 0, len(specs))
+	for i, spec := range specs {
+		shards = append(shards, c.newShard(i, spec))
 	}
-	c.rejected = make([]atomic.Int64, len(c.shards[0].sched.classes))
-	if len(c.shards) > 1 {
-		c.stealWg.Add(1)
-		go c.stealLoop()
+	c.shardsVal.Store(shards)
+	c.rejected = make([]atomic.Int64, len(shards[0].sched.classes))
+	if len(shards) > 1 {
+		c.startStealingLocked()
 	}
 	return c
 }
+
+// newShard builds shard id over the spec's backend, replicating the
+// Galois-key table and wiring the fault-plane hooks before the shard
+// becomes routable.
+func (c *Cluster) newShard(id int, spec ShardSpec) *shard {
+	replica := make(map[int]*ckks.GaloisKey, len(c.gks))
+	for k, v := range c.gks {
+		replica[k] = v
+	}
+	sh := &shard{
+		id:     id,
+		node:   spec.Node,
+		sched:  NewOn(c.params, spec.Backend, c.cfg, c.rlk, replica),
+		weight: shardWeight(spec.Backend),
+	}
+	sh.sched.installFaultHooks(
+		func(ts []*task) { c.recoverTasks(sh, ts) },
+		func() { sh.maybeKill(c) },
+	)
+	return sh
+}
+
+// shardWeight derives the routing weight from the backend's device
+// when it exposes one (DeviceBackend, RemoteBackend), defaulting to an
+// even split otherwise.
+func shardWeight(b Backend) float64 {
+	if db, ok := b.(interface{ Device() *gpu.Device }); ok {
+		return gpu.ClusterWeight(&db.Device().Spec)
+	}
+	return 1
+}
+
+// startStealingLocked launches the work-stealing monitor once the
+// cluster spans more than one shard. Caller holds c.mu or is the
+// constructor (the cluster not yet shared).
+func (c *Cluster) startStealingLocked() {
+	if c.stealing {
+		return
+	}
+	c.stealing = true
+	c.stealWg.Add(1)
+	go c.stealLoop()
+}
+
+// all returns the current shard snapshot. The slice is immutable —
+// AddShard publishes a fresh copy — so iteration is lock-free and a
+// caller mid-routine keeps a consistent view.
+func (c *Cluster) all() []*shard { return c.shardsVal.Load().([]*shard) }
 
 // Params returns the scheme parameters the cluster was built for.
 func (c *Cluster) Params() *ckks.Parameters { return c.params }
 
 // Shards returns the number of shards (open or not).
-func (c *Cluster) Shards() int { return len(c.shards) }
+func (c *Cluster) Shards() int { return len(c.all()) }
+
+// Faults returns the cluster's fault-injection plane.
+func (c *Cluster) Faults() *FaultPlane { return c.faults }
+
+// AddShard grows the cluster with a new shard over the given backend
+// (elastic scale-up, pairing CloseShard's scale-down): the shard warms
+// its buffer cache per the cluster's config, enters the routing tables
+// immediately, and the stealing monitor starts (or keeps) rebalancing
+// backlogs onto it. Adding a shard after every existing shard closed
+// revives the cluster — Submit routes again instead of returning
+// ErrNoShards. It returns the new shard's index, or ErrClosed after
+// Close.
+func (c *Cluster) AddShard(spec ShardSpec) (int, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return 0, ErrClosed
+	}
+	old := c.all()
+	sh := c.newShard(len(old), spec)
+	shards := make([]*shard, len(old), len(old)+1)
+	copy(shards, old)
+	shards = append(shards, sh)
+	c.shardsVal.Store(shards)
+	if len(shards) > 1 {
+		c.startStealingLocked()
+	}
+	c.mu.Unlock()
+	c.addedCnt.Add(1)
+	return sh.id, nil
+}
 
 // pickWeighted is the bulk routing policy: the open shard with the
 // smallest (load+1)/weight ratio wins (ties go to the lowest index).
@@ -171,23 +360,24 @@ func pickExpectedWait(work []float64, cost float64, weights []float64, open []bo
 }
 
 // affinity returns the shard holding a device-resident output the job
-// depends on, if that shard is still open and not skipped. Routing a
-// consumer to its producer's shard turns the dependency edge into a
-// zero-copy borrow; any other placement rematerializes the value
-// through the host. The first dependency with a known home wins (a
-// consumer of producers on different shards can only be local to one
-// of them anyway).
+// depends on, if that shard is still open, probe-healthy and not
+// skipped. Routing a consumer to its producer's shard turns the
+// dependency edge into a zero-copy borrow; any other placement
+// rematerializes the value through the host. The first dependency with
+// a known home wins (a consumer of producers on different shards can
+// only be local to one of them anyway).
 func (c *Cluster) affinity(job *Job, skip map[int]bool) *shard {
+	shards := c.all()
 	for _, f := range job.Deps {
 		if f == nil {
 			continue
 		}
 		id := atomic.LoadInt32(&f.shard)
-		if id < 0 || int(id) >= len(c.shards) {
+		if id < 0 || int(id) >= len(shards) {
 			continue
 		}
-		sh := c.shards[id]
-		if sh.closed.Load() || skip[sh.id] {
+		sh := shards[id]
+		if sh.closed.Load() || skip[sh.id] || !sh.probe() {
 			continue
 		}
 		return sh
@@ -197,17 +387,28 @@ func (c *Cluster) affinity(job *Job, skip map[int]bool) *shard {
 
 // pick routes one job, or returns nil when no open shard remains in
 // skip. Shards in skip (already tried and found overloaded for this
-// job's class) are excluded.
+// job's class) are excluded, as are shards whose health probe fails —
+// unless EVERY open shard probes sick, in which case the probe is
+// ignored (a corrupted health plane must degrade routing quality, not
+// wedge the cluster).
 func (c *Cluster) pick(job *Job, skip map[int]bool) *shard {
-	n := len(c.shards)
+	shards := c.all()
+	n := len(shards)
 	weights := make([]float64, n)
 	open := make([]bool, n)
-	for i, sh := range c.shards {
+	healthy := make([]bool, n)
+	anyHealthy := false
+	for i, sh := range shards {
 		weights[i] = sh.weight
 		open[i] = !sh.closed.Load() && !skip[i]
+		healthy[i] = open[i] && sh.probe()
+		anyHealthy = anyHealthy || healthy[i]
+	}
+	if anyHealthy {
+		open = healthy
 	}
 	latSensitive := false
-	if cs := c.shards[0].sched.classes; job.Class >= 0 && int(job.Class) < len(cs) {
+	if cs := shards[0].sched.classes; job.Class >= 0 && int(job.Class) < len(cs) {
 		// Out-of-range classes fall through to the default routing and
 		// are rejected by Scheduler.validate with a proper error.
 		latSensitive = cs[job.Class].LatencySensitive
@@ -215,19 +416,19 @@ func (c *Cluster) pick(job *Job, skip map[int]bool) *shard {
 	var best int
 	if latSensitive {
 		work := make([]float64, n)
-		for i, sh := range c.shards {
+		for i, sh := range shards {
 			work[i] = sh.sched.OutstandingWork()
 		}
 		best = pickExpectedWait(work, float64(len(job.Inputs)+len(job.Ops)), weights, open)
 	} else {
 		loads := make([]int64, n)
-		for i, sh := range c.shards {
+		for i, sh := range shards {
 			loads[i] = sh.sched.Outstanding()
 		}
 		best = pickWeighted(loads, weights, open)
 	}
 	if best >= 0 {
-		return c.shards[best]
+		return shards[best]
 	}
 	return nil
 }
@@ -263,8 +464,8 @@ func (c *Cluster) Submit(job *Job) (*Future, error) {
 		fut, err := sh.sched.Submit(job)
 		switch err {
 		case ErrClosed:
-			// The shard was closed between pick and submit; drop it
-			// from rotation and route elsewhere.
+			// The shard was closed (or killed) between pick and submit;
+			// drop it from rotation and route elsewhere.
 			sh.closed.Store(true)
 			continue
 		case ErrOverloaded:
@@ -288,20 +489,22 @@ func (c *Cluster) Submit(job *Job) (*Future, error) {
 }
 
 // Drain blocks until every job submitted so far has completed on every
-// shard. Like Scheduler.Drain it does not stop intake. Stolen jobs
-// are double-counted (never dropped) while they migrate, so the final
-// zero-sum check below cannot pass with a job still in flight; the
-// loop re-drains until no migration slipped between per-shard waits.
+// shard. Like Scheduler.Drain it does not stop intake. Stolen and
+// surrendered jobs are double-counted (never dropped) while they
+// migrate, so the final zero-sum check below cannot pass with a job
+// still in flight; the loop re-drains until no migration slipped
+// between per-shard waits.
 func (c *Cluster) Drain() {
 	for {
-		for _, sh := range c.shards {
+		shards := c.all()
+		for _, sh := range shards {
 			sh.sched.Drain()
 		}
 		total := int64(0)
-		for _, sh := range c.shards {
+		for _, sh := range shards {
 			total += sh.sched.Outstanding()
 		}
-		if total == 0 {
+		if total == 0 && len(c.all()) == len(shards) {
 			return
 		}
 	}
@@ -333,8 +536,9 @@ func (c *Cluster) stealLoop() {
 func (c *Cluster) stealRound() {
 	c.stealMu.Lock()
 	defer c.stealMu.Unlock()
+	shards := c.all()
 	idle, victim, backlog := -1, -1, 0
-	for i, sh := range c.shards {
+	for i, sh := range shards {
 		if sh.closed.Load() {
 			continue
 		}
@@ -351,7 +555,7 @@ func (c *Cluster) stealRound() {
 	if n < 1 {
 		n = 1
 	}
-	c.migrate(c.shards[victim], c.shards[idle], n)
+	c.migrate(shards[victim], shards[idle], n)
 }
 
 // migrate moves up to max queued tasks from src to dst (both open,
@@ -371,7 +575,13 @@ func (c *Cluster) migrate(src, dst *shard, max int) int {
 		// dst closed under us (only possible outside stealMu users);
 		// re-home the backlog where it came from.
 		if !src.sched.injectTasks(tasks) {
-			panic("sched: stolen tasks lost: both shards closed during migration")
+			// src itself was killed while its backlog was in hand:
+			// replay-or-fail through the recovery path instead of
+			// panicking (recoverTasks assumes relative stamps, which is
+			// what stealQueued produced).
+			src.sched.met.surrendered.Add(int64(len(tasks)))
+			c.recoverLocked(src, tasks, work)
+			return 0
 		}
 		src.sched.outstandingAdd(-len(tasks), -work)
 		return 0
@@ -381,42 +591,129 @@ func (c *Cluster) migrate(src, dst *shard, max int) int {
 	return len(tasks)
 }
 
-// CloseShard takes one shard out of rotation, re-routes its queued
-// (not yet dispatched) backlog to the remaining open shards, and
-// closes its scheduler, draining the jobs already on its workers —
-// e.g. to retire a failing device without stopping the cluster or
-// stranding accepted jobs behind it. It is idempotent per shard; with
-// every shard closed, Submit returns ErrNoShards.
-func (c *Cluster) CloseShard(i int) {
-	sh := c.shards[i]
-	c.stealMu.Lock()
-	sh.closed.Store(true)
-	// Spread the backlog over the open shards, least-loaded first.
+// evacuateLocked re-routes sh's queued (not yet dispatched) backlog to
+// the remaining open shards, least-loaded first, counting moved jobs
+// into cnt. Caller holds stealMu and has taken sh out of rotation.
+func (c *Cluster) evacuateLocked(sh *shard, cnt *obs.Counter) {
 	for {
+		shards := c.all()
 		dst := -1
 		var dstLoad int64
-		for j, other := range c.shards {
-			if j == i || other.closed.Load() {
+		for _, other := range shards {
+			if other == sh || other.closed.Load() {
 				continue
 			}
 			if load := other.sched.Outstanding(); dst < 0 || load < dstLoad {
-				dst, dstLoad = j, load
+				dst, dstLoad = other.id, load
 			}
 		}
 		if dst < 0 {
-			break // no open shard left; the local Close drains them
+			return // no open shard left; the local Close drains them
 		}
 		queued := sh.sched.QueuedJobs()
 		if queued == 0 {
-			break
+			return
 		}
 		n := (queued + 1) / 2
-		moved := c.migrate(sh, c.shards[dst], n)
+		moved := c.migrate(sh, shards[dst], n)
 		if moved == 0 {
+			return
+		}
+		cnt.Add(int64(moved))
+	}
+}
+
+// killShard fail-stops shard i: it leaves rotation immediately, its
+// scheduler flips into surrender mode (everything shipped to workers
+// but not yet settled is handed back for replay), and its queued
+// backlog is evacuated to the open shards. Device memory stays
+// readable — the node lost its executor, not its RAM — so resident
+// outputs rematerialize through the owner path during replay. The
+// scheduler itself is torn down later by Close. Idempotent per shard;
+// returns false if the shard was already killed or out of range.
+func (c *Cluster) killShard(i int) bool {
+	shards := c.all()
+	if i < 0 || i >= len(shards) {
+		return false
+	}
+	sh := shards[i]
+	if !sh.killed.CompareAndSwap(false, true) {
+		return false
+	}
+	sh.closed.Store(true)
+	sh.sched.kill()
+	c.killedCnt.Add(1)
+	// Evacuate the queued backlog like CloseShard: jobs not yet
+	// dispatched need no replay, they just re-route.
+	c.stealMu.Lock()
+	c.evacuateLocked(sh, c.recovered)
+	c.stealMu.Unlock()
+	return true
+}
+
+// recoverTasks re-homes tasks surrendered by a killed shard's workers
+// (relative stamps, as from stealQueued): they inject into the
+// least-loaded open shard — rehoming dependency residencies through
+// the owner path — and replay from host-side inputs. The kernels are
+// deterministic, so a re-executed job cannot diverge from the serial
+// path. With no open shard left the jobs fail with ErrShardLost; they
+// are never dropped, so Drain and Close cannot wedge on a kill.
+func (c *Cluster) recoverTasks(src *shard, ts []*task) {
+	if len(ts) == 0 {
+		return
+	}
+	var work float64
+	for _, t := range ts {
+		work += t.work()
+	}
+	c.stealMu.Lock()
+	defer c.stealMu.Unlock()
+	c.recoverLocked(src, ts, work)
+}
+
+// recoverLocked is recoverTasks under stealMu (shard retirement is
+// excluded, so a scanned-open destination stays open through the
+// inject).
+func (c *Cluster) recoverLocked(src *shard, ts []*task, work float64) {
+	for {
+		shards := c.all()
+		dst := -1
+		var dstLoad int64
+		for _, other := range shards {
+			if other == src || other.closed.Load() {
+				continue
+			}
+			if load := other.sched.Outstanding(); dst < 0 || load < dstLoad {
+				dst, dstLoad = other.id, load
+			}
+		}
+		if dst < 0 {
 			break
 		}
-		c.rerouted.Add(int64(moved))
+		if shards[dst].sched.injectTasks(ts) {
+			shards[dst].stolen.Add(int64(len(ts)))
+			src.sched.outstandingAdd(-len(ts), -work)
+			c.replayed.Add(int64(len(ts)))
+			return
+		}
+		// dst closed between the scan and the inject (impossible under
+		// stealMu today, but cheap to tolerate): rescan.
 	}
+	src.sched.failSurrendered(ts)
+}
+
+// CloseShard takes one shard out of rotation, re-routes its queued
+// (not yet dispatched) backlog to the remaining open shards, and
+// closes its scheduler, draining the jobs already on its workers —
+// e.g. to retire a device without stopping the cluster or stranding
+// accepted jobs behind it. It is idempotent per shard; with every
+// shard closed, Submit returns ErrNoShards (until AddShard revives
+// the cluster).
+func (c *Cluster) CloseShard(i int) {
+	sh := c.all()[i]
+	c.stealMu.Lock()
+	sh.closed.Store(true)
+	c.evacuateLocked(sh, c.rerouted)
 	c.stealMu.Unlock()
 	sh.sched.Close()
 }
@@ -438,13 +735,14 @@ func (c *Cluster) Close() {
 	// mid-flight steal always has an open destination.
 	close(c.stopSteal)
 	c.stealWg.Wait()
+	shards := c.all()
 	c.stealMu.Lock()
-	for _, sh := range c.shards {
+	for _, sh := range shards {
 		sh.closed.Store(true)
 	}
 	c.stealMu.Unlock()
 	var wg sync.WaitGroup
-	for _, sh := range c.shards {
+	for _, sh := range shards {
 		wg.Add(1)
 		go func(sh *shard) {
 			defer wg.Done()
@@ -466,24 +764,42 @@ type ClusterStats struct {
 	Stats
 	PerShard []Stats
 	Routed   []int64 // jobs routed to each shard by the router
-	Stolen   []int64 // jobs migrated to each shard by work stealing
+	Stolen   []int64 // jobs migrated to each shard (stealing, evacuation, replay)
+	// Failure-domain counters: Recovered counts queued jobs evacuated
+	// off killed shards, Replayed counts in-flight jobs surrendered by
+	// killed workers and re-executed on a healthy shard, Killed counts
+	// fail-stopped shards, Added counts AddShard growths. Health is
+	// the per-shard state at snapshot time: "ok", "sick", "killed" or
+	// "closed".
+	Recovered int64
+	Replayed  int64
+	Killed    int64
+	Added     int64
+	Health    []string
 }
 
 // Stats returns a snapshot of the aggregate and per-shard counters.
 func (c *Cluster) Stats() ClusterStats {
+	shards := c.all()
 	cs := ClusterStats{
-		PerShard: make([]Stats, len(c.shards)),
-		Routed:   make([]int64, len(c.shards)),
-		Stolen:   make([]int64, len(c.shards)),
+		PerShard:  make([]Stats, len(shards)),
+		Routed:    make([]int64, len(shards)),
+		Stolen:    make([]int64, len(shards)),
+		Health:    make([]string, len(shards)),
+		Recovered: c.recovered.Value(),
+		Replayed:  c.replayed.Value(),
+		Killed:    c.killedCnt.Value(),
+		Added:     c.addedCnt.Value(),
 	}
-	classes := c.shards[0].sched.classes
+	classes := shards[0].sched.classes
 	cs.PerClass = make([]ClassStats, len(classes))
 	merged := make([][]float64, len(classes))
-	for i, sh := range c.shards {
+	for i, sh := range shards {
 		st := sh.sched.Stats()
 		cs.PerShard[i] = st
 		cs.Routed[i] = sh.routed.Load()
 		cs.Stolen[i] = sh.stolen.Load()
+		cs.Health[i] = sh.health()
 		cs.Jobs += st.Jobs
 		cs.Failed += st.Failed
 		cs.Batches += st.Batches
@@ -535,14 +851,14 @@ func (c *Cluster) Stats() ClusterStats {
 
 // Classes returns the class table the cluster's shards dispatch by.
 func (c *Cluster) Classes() []qos.Class {
-	return append([]qos.Class(nil), c.shards[0].sched.classes...)
+	return append([]qos.Class(nil), c.all()[0].sched.classes...)
 }
 
 // SimulatedSeconds returns the cluster's simulated wall-clock: the
 // busiest shard's timeline, since the devices run in parallel.
 func (c *Cluster) SimulatedSeconds() float64 {
 	var max float64
-	for _, sh := range c.shards {
+	for _, sh := range c.all() {
 		if s := sh.sched.Backend().SimulatedSeconds(); s > max {
 			max = s
 		}
@@ -556,7 +872,7 @@ func (c *Cluster) SimulatedSeconds() float64 {
 // steady-state measurement after a warm-up. Call it only while the
 // cluster is idle.
 func (c *Cluster) ResetSimClocks() {
-	for _, sh := range c.shards {
+	for _, sh := range c.all() {
 		sh.sched.ResetClocks()
 	}
 }

@@ -329,7 +329,7 @@ func TestClusterStealsToIdleShard(t *testing.T) {
 	const jobs = 40
 	futs := make([]*Future, jobs)
 	for i := range futs {
-		if futs[i], err = c.shards[0].sched.Submit(job); err != nil {
+		if futs[i], err = c.all()[0].sched.Submit(job); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,0 +1,114 @@
+package sched
+
+import "xehe/internal/gpu"
+
+// FaultPlane is the cluster's fault-injection surface, for chaos
+// testing and failure drills. Every fault is confined to the simulated
+// timing/routing plane: payload bytes are never corrupted, so any job
+// that completes — directly, re-routed, or replayed — still produces
+// the exact ciphertext the serial path would (the chaos differential
+// suite pins this bit-for-bit).
+//
+// Faults compose: a shard can have a degraded link, failing health
+// probes and an armed kill countdown at once. All methods are safe for
+// concurrent use, including while jobs are in flight.
+type FaultPlane struct {
+	c *Cluster
+}
+
+// KillShard fail-stops shard i immediately: it leaves rotation, its
+// queued backlog evacuates to the open shards, and its in-flight jobs
+// are surrendered by the workers and replayed from host-side inputs
+// elsewhere (or fail with ErrShardLost when no open shard remains).
+// Returns false if the shard was already killed or out of range.
+func (fp *FaultPlane) KillShard(i int) bool { return fp.c.killShard(i) }
+
+// KillShardAfter arms a deterministic kill: the batches-th batch to
+// start on shard i kills it mid-batch, from the worker goroutine
+// itself — after the batch is counted started, before any of its
+// results settle. batches <= 0 disarms.
+func (fp *FaultPlane) KillShardAfter(i int, batches int64) {
+	shards := fp.c.all()
+	if i < 0 || i >= len(shards) {
+		return
+	}
+	if batches < 0 {
+		batches = 0
+	}
+	shards[i].killAfter.Store(batches)
+}
+
+// KillNode fail-stops every shard in failure domain node (shards on
+// one node share fate: a node loss takes all of its shards at once).
+// Returns the number of shards newly killed.
+func (fp *FaultPlane) KillNode(node int) int {
+	killed := 0
+	for _, sh := range fp.c.all() {
+		if sh.node != node {
+			continue
+		}
+		if fp.c.killShard(sh.id) {
+			killed++
+		}
+	}
+	return killed
+}
+
+// DelayHops injects extraSeconds of additional one-way latency into
+// shard i's next hops network crossings, and marks the shard sick for
+// as many health probes so the router steers new work away while the
+// link is degraded. No-op for out-of-range shards or backends without
+// a device.
+func (fp *FaultPlane) DelayHops(i int, extraSeconds float64, hops int64) {
+	if dev := fp.shardDevice(i); dev != nil && hops > 0 {
+		dev.InjectLinkDelay(extraSeconds*dev.Spec.ClockGHz*1e9, hops)
+		fp.c.all()[i].sick.Add(hops)
+	}
+}
+
+// DropHops makes shard i's next hops network crossings drop and
+// retransmit (each costs two extra one-way latencies on the simulated
+// timeline), marking the shard sick for as many health probes. The
+// payload still arrives — a drop is a timing fault, not data loss.
+func (fp *FaultPlane) DropHops(i int, hops int64) {
+	if dev := fp.shardDevice(i); dev != nil && hops > 0 {
+		dev.InjectLinkDrop(hops)
+		fp.c.all()[i].sick.Add(hops)
+	}
+}
+
+// CorruptHealth makes shard i's next n health probes report the shard
+// as sick even though it executes fine — the router stops picking it
+// until the budget drains (or ignores the probes entirely when every
+// open shard reports sick, so a fully corrupted health plane degrades
+// routing instead of wedging it).
+func (fp *FaultPlane) CorruptHealth(i int, n int64) {
+	shards := fp.c.all()
+	if i < 0 || i >= len(shards) || n <= 0 {
+		return
+	}
+	shards[i].sick.Add(n)
+}
+
+// Health reports shard i's current state ("ok", "sick", "killed",
+// "closed") without consuming a probe.
+func (fp *FaultPlane) Health(i int) string {
+	shards := fp.c.all()
+	if i < 0 || i >= len(shards) {
+		return "unknown"
+	}
+	return shards[i].health()
+}
+
+// shardDevice resolves shard i's simulated device, if its backend
+// exposes one.
+func (fp *FaultPlane) shardDevice(i int) *gpu.Device {
+	shards := fp.c.all()
+	if i < 0 || i >= len(shards) {
+		return nil
+	}
+	if db, ok := shards[i].sched.Backend().(interface{ Device() *gpu.Device }); ok {
+		return db.Device()
+	}
+	return nil
+}

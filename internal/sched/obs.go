@@ -148,7 +148,7 @@ type schedMetrics struct {
 	batches, coalesced                      *obs.Counter
 	fusedBatches, fusedSteps, unfusedSteps  *obs.Counter
 	transferBatches, bytesH2D, bytesD2H     *obs.Counter
-	stolenIn, stolenOut                     *obs.Counter
+	stolenIn, stolenOut, surrendered        *obs.Counter
 	graphJobs, residentHits, residentMisses *obs.Counter
 	idleEmptyNS, stallCopyNS, depParkNS     *obs.Counter
 	spanDropped                             *obs.Counter
@@ -174,6 +174,7 @@ func newSchedMetrics(classes []string, backend Backend) *schedMetrics {
 		bytesD2H:        reg.Counter("sched.bytes_d2h"),
 		stolenIn:        reg.Counter("sched.stolen_in"),
 		stolenOut:       reg.Counter("sched.stolen_out"),
+		surrendered:     reg.Counter("sched.surrendered_jobs"),
 		graphJobs:       reg.Counter("sched.graph_jobs"),
 		residentHits:    reg.Counter("sched.resident_hits"),
 		residentMisses:  reg.Counter("sched.resident_misses"),
@@ -281,8 +282,9 @@ const (
 // cluster-wide): counters and histogram buckets sum by name, gauges
 // add — so e.g. memcache.pinned_buffers reports the cluster total.
 func (c *Cluster) Metrics() obs.Snapshot {
-	snaps := make([]obs.Snapshot, 0, len(c.shards)+1)
-	for _, sh := range c.shards {
+	shards := c.all()
+	snaps := make([]obs.Snapshot, 0, len(shards)+1)
+	for _, sh := range shards {
 		snaps = append(snaps, sh.sched.Metrics())
 	}
 	snaps = append(snaps, c.obsReg.Snapshot())
@@ -292,7 +294,7 @@ func (c *Cluster) Metrics() obs.Snapshot {
 // TraceCounts sums the recorded and dropped span totals over every
 // shard's rings (both zero with tracing off).
 func (c *Cluster) TraceCounts() (recorded, dropped int64) {
-	for _, sh := range c.shards {
+	for _, sh := range c.all() {
 		r, d := sh.sched.TraceCounts()
 		recorded += r
 		dropped += d
@@ -306,7 +308,7 @@ func (c *Cluster) TraceCounts() (recorded, dropped int64) {
 // ErrTraceDisabled when no shard was built with tracing.
 func (c *Cluster) WriteTrace(w io.Writer) error {
 	var procs []obs.Process
-	for i, sh := range c.shards {
+	for i, sh := range c.all() {
 		if p, ok := sh.sched.TraceProcess(fmt.Sprintf("shard %d", i)); ok {
 			procs = append(procs, p)
 		}

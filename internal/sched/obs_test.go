@@ -143,7 +143,7 @@ func TestClusterStatsMerge(t *testing.T) {
 		schedConfig(1), h.RelinKey(), h.GaloisKeys())
 	defer c.Close()
 
-	s0, s1 := c.shards[0].sched, c.shards[1].sched
+	s0, s1 := c.all()[0].sched, c.all()[1].sched
 	s0.statMu.Lock()
 	s0.stats.MaxBatch = 3
 	s0.classStat[0].MaxBatch = 3

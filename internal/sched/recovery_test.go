@@ -1,0 +1,247 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"xehe/internal/ckks"
+	"xehe/internal/gpu"
+)
+
+// mustFinish fails the test if f does not return within the deadline —
+// the recovery contract says Drain and Close must never wedge on a
+// killed shard.
+func mustFinish(t *testing.T, what string, f func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { defer close(done); f() }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("%s wedged after a shard kill", what)
+	}
+}
+
+// TestKillMidBatchNeverWedges pins the core recovery invariants: a
+// shard killed mid-batch (from its own worker, via the armed
+// countdown) surrenders its in-flight work for replay, Drain and Close
+// return instead of wedging, every job completes bit-identically on a
+// surviving shard, and no shard — including the dead one — strands a
+// single pinned buffer.
+func TestKillMidBatchNeverWedges(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 2, gpu.NewDevice1(), gpu.NewDevice1())
+	c.Faults().KillShardAfter(0, 1) // first batch on shard 0 kills it
+
+	rng := rand.New(rand.NewSource(4242))
+	const nJobs = 16
+	cases := make([]*Case, nJobs)
+	futs := make([]*Future, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 4)
+		fut, err := c.Submit(cases[i].Job)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	mustFinish(t, "Drain", c.Drain)
+
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: replayed result diverges: %v", i, err)
+		}
+	}
+
+	st := c.Stats()
+	if st.Killed != 1 || st.Replayed < 1 {
+		t.Fatalf("killed %d / replayed %d, want 1 / >=1 (the armed batch must surrender)", st.Killed, st.Replayed)
+	}
+	for i, sh := range c.all() {
+		cache := sh.sched.Backend().Cache()
+		if n := cache.PinnedCount(); n != 0 {
+			t.Errorf("shard %d: PinnedCount = %d after drain, want 0", i, n)
+		}
+		if n := cache.ReleaseAll(); n != 0 {
+			t.Errorf("shard %d: ReleaseAll reclaimed %d stranded buffers, want 0", i, n)
+		}
+	}
+	mustFinish(t, "Close", c.Close)
+}
+
+// TestKillAllShardsFailsWithoutWedging pins the no-survivor corner: an
+// in-flight job whose every replay target dies reports ErrShardLost —
+// it is never silently dropped — and Drain/Close still return. The
+// surrendered stamps must also have been re-absolutized, so the
+// failure is accounted against the job's class without corrupting the
+// latency window.
+func TestKillAllShardsFailsWithoutWedging(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 1, gpu.NewDevice1(), gpu.NewDevice1())
+	// Whichever shard picks up a batch dies on it: the job surrenders
+	// off shard 0, replays on shard 1, surrenders again, and has
+	// nowhere left to go.
+	c.Faults().KillShardAfter(0, 1)
+	c.Faults().KillShardAfter(1, 1)
+
+	vals := make([]complex128, h.Params.Slots())
+	job := NewJob(h.Encrypt(vals))
+	job.SquareRelinRescale(0)
+	fut, err := c.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFinish(t, "Drain", c.Drain)
+	if _, err := fut.Wait(); !errors.Is(err, ErrShardLost) {
+		t.Fatalf("Wait = %v, want ErrShardLost (no shard left to replay on)", err)
+	}
+	st := c.Stats()
+	if st.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", st.Failed)
+	}
+	if st.Killed != 2 {
+		t.Fatalf("Killed = %d, want 2", st.Killed)
+	}
+	mustFinish(t, "Close", c.Close)
+}
+
+// TestReplayedProducerErrorPropagation pins error propagation across a
+// replay: a graph producer that is surrendered by a killed shard and
+// then fails for real on the replay shard (broken Galois key, panics
+// in-kernel) must fail its consumers with the per-edge dependency
+// attribution — exactly as if it had failed in place — without
+// wedging Drain or stranding pins.
+func TestReplayedProducerErrorPropagation(t *testing.T) {
+	h := sharedHarness(t)
+	gks := map[int]*ckks.GaloisKey{}
+	for k, v := range h.GaloisKeys() {
+		gks[k] = v
+	}
+	gks[5] = &ckks.GaloisKey{} // present (passes Submit), panics at run time
+
+	specs := []ShardSpec{
+		{Backend: NewDeviceBackend(gpu.NewDevice1(), true), Node: 0},
+		{Backend: NewDeviceBackend(gpu.NewDevice1(), true), Node: 1},
+	}
+	c := NewClusterShards(h.Params, specs, schedConfig(1), h.RelinKey(), gks)
+	t.Cleanup(c.Close)
+	// An idle equal-weight cluster routes the first job to shard 0
+	// (ties break to the lowest index); its first batch kills the
+	// shard, so the broken producer replays on shard 1 and fails there.
+	c.Faults().KillShardAfter(0, 1)
+
+	vals := make([]complex128, h.Params.Slots())
+	bad := NewJob(h.Encrypt(vals))
+	bad.Rotate(0, 5)
+	badFut, err := c.Submit(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons := NewJob(h.Encrypt(vals))
+	cons.Add(0, cons.InputFrom(badFut))
+	consFut, err := c.Submit(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grand := NewJob()
+	grand.Rotate(grand.InputFrom(consFut), 1)
+	grandFut, err := c.Submit(grand)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mustFinish(t, "Drain", c.Drain)
+	if _, err := badFut.Wait(); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("replayed broken producer error = %v, want in-kernel panic attribution", err)
+	}
+	for name, fut := range map[string]*Future{"consumer": consFut, "grandchild": grandFut} {
+		_, err := fut.Wait()
+		if err == nil {
+			t.Fatalf("%s of failed replayed producer reported success", name)
+		}
+		for _, want := range []string{"dependency input", "producer job failed"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("%s: error %q missing %q", name, err, want)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Replayed < 1 {
+		t.Fatalf("Replayed = %d, want >= 1 (the producer must have gone through surrender)", st.Replayed)
+	}
+	if st.Failed != 3 {
+		t.Fatalf("Failed = %d, want 3 (producer + both dependents)", st.Failed)
+	}
+	for i, sh := range c.all() {
+		if n := sh.sched.Backend().Cache().PinnedCount(); n != 0 {
+			t.Errorf("shard %d: PinnedCount = %d, want 0", i, n)
+		}
+	}
+}
+
+// TestBackpressuredSubmitSurvivesKill pins the intake corner: a Submit
+// blocked on a killed shard's backpressure must not wedge — the
+// blocked job lands in the dead shard's queues, is shipped, surrenders
+// and replays elsewhere, completing bit-identically.
+func TestBackpressuredSubmitSurvivesKill(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(1)
+	cfg.QueueDepth = 2
+	cfg.MaxBatch = 1
+	cfg.PendingCap = 4 // tiny pipeline: a burst must block in Submit
+	specs := []ShardSpec{
+		{Backend: NewDeviceBackend(gpu.NewDevice1(), true), Node: 0},
+		{Backend: NewDeviceBackend(gpu.NewDevice1(), true), Node: 1},
+	}
+	c := NewClusterShards(h.Params, specs, cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+	c.Faults().KillShardAfter(0, 3)
+
+	vals := make([]complex128, h.Params.Slots())
+	job := NewJob(h.Encrypt(vals))
+	job.SquareRelinRescale(0)
+	serial, err := h.RunSerial(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const nJobs = 20
+	futs := make([]*Future, nJobs)
+	mustFinish(t, "backpressured submission + drain", func() {
+		for i := range futs {
+			fut, err := c.Submit(job)
+			if err != nil {
+				t.Errorf("job %d: %v", i, err)
+				return
+			}
+			futs[i] = fut
+		}
+		c.Drain()
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if err := SameCiphertext(got, serial); err != nil {
+			t.Fatalf("job %d: result diverges after kill under backpressure: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Killed != 1 || st.Jobs != nJobs {
+		t.Fatalf("killed %d / jobs %d, want 1 / %d", st.Killed, st.Jobs, nJobs)
+	}
+}

@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"xehe/internal/gpu"
+)
+
+// newRemoteCluster builds a cluster whose shard i sits behind links[i]
+// (the zero NetLink keeps the shard host-local), each shard its own
+// failure domain.
+func newRemoteCluster(t testing.TB, h *Harness, workers int, links []NetLink, devs ...*gpu.Device) *Cluster {
+	t.Helper()
+	cfg := schedConfig(workers)
+	specs := make([]ShardSpec, len(devs))
+	for i, dev := range devs {
+		if links[i].Local() {
+			specs[i] = ShardSpec{Backend: NewDeviceBackend(dev, cfg.Core.MemCache), Node: i}
+		} else {
+			specs[i] = ShardSpec{Backend: NewRemoteBackend(dev, cfg.Core.MemCache, i, links[i]), Node: i}
+		}
+	}
+	c := NewClusterShards(h.Params, specs, cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestRemoteBackendDifferential pins the tentpole's correctness half:
+// a cluster spanning a host-local shard and a remote shard (5us, 8GB/s
+// hop) must produce results bit-identical to the serial path for every
+// job, wherever it routed — the hop prices time, never touches
+// payloads — and the remote shard's link must actually have been
+// crossed.
+func TestRemoteBackendDifferential(t *testing.T) {
+	h := sharedHarness(t)
+	link := NetLink{LatencySeconds: 5e-6, GBps: 8}
+	c := newRemoteCluster(t, h, 2, []NetLink{{}, link},
+		gpu.NewDevice1(), gpu.NewDevice1())
+
+	rng := rand.New(rand.NewSource(99))
+	const nJobs = 16
+	cases := make([]*Case, nJobs)
+	futs := make([]*Future, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 5)
+		fut, err := c.Submit(cases[i].Job)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	c.Drain()
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: remote cluster vs serial mismatch: %v", i, err)
+		}
+	}
+
+	st := c.Stats()
+	if st.Routed[1] == 0 {
+		t.Fatalf("remote shard received no jobs (routed %v)", st.Routed)
+	}
+	rb, ok := c.all()[1].sched.Backend().(*RemoteBackend)
+	if !ok {
+		t.Fatalf("shard 1 backend is %T, want *RemoteBackend", c.all()[1].sched.Backend())
+	}
+	if rb.Node() != 1 || rb.Link() != link {
+		t.Fatalf("remote backend identity = node %d link %+v", rb.Node(), rb.Link())
+	}
+	if ls := rb.LinkStats(); ls.Hops == 0 || ls.HopCycles <= 0 {
+		t.Fatalf("remote shard ran %d jobs but crossed the link %d times (%g cycles)",
+			st.PerShard[1].Jobs, ls.Hops, ls.HopCycles)
+	}
+}
+
+// TestRemoteHopCostsSimulatedTime pins the tentpole's timing half: the
+// same workload on the same device kind takes strictly more simulated
+// time behind a network hop than host-local, and the gap grows with
+// the latency.
+func TestRemoteHopCostsSimulatedTime(t *testing.T) {
+	h := sharedHarness(t)
+	run := func(link NetLink) float64 {
+		c := newRemoteCluster(t, h, 2, []NetLink{link}, gpu.NewDevice1())
+		vals := make([]complex128, h.Params.Slots())
+		for i := 0; i < 6; i++ {
+			j := NewJob(h.Encrypt(vals), h.Encrypt(vals))
+			r := j.MulRelinRescale(0, 1)
+			j.Rotate(r, 1)
+			if _, err := c.Submit(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Drain()
+		return c.SimulatedSeconds()
+	}
+	local := run(NetLink{})
+	slow := run(NetLink{LatencySeconds: 2e-6, GBps: 16})
+	slower := run(NetLink{LatencySeconds: 50e-6, GBps: 4})
+	if !(local < slow && slow < slower) {
+		t.Fatalf("simulated time not ordered by hop cost: local %g, 2us hop %g, 50us hop %g",
+			local, slow, slower)
+	}
+}

@@ -19,6 +19,13 @@ import (
 // ErrClosed is returned by Submit after Close has been called.
 var ErrClosed = errors.New("sched: scheduler is closed")
 
+// ErrShardLost is the terminal error of jobs that were in flight on a
+// killed shard and could not be replayed: no healthy shard remained,
+// or the scheduler runs standalone with no cluster to re-home onto.
+// Jobs are never silently dropped on a kill — they either replay
+// bit-identically elsewhere or fail with this error.
+var ErrShardLost = errors.New("sched: shard killed mid-flight with no healthy shard to replay on")
+
 // ErrOverloaded is returned by Submit when the job's class has
 // exhausted its admission share of the pending queue (qos.Class.Share
 // < 1): the scheduler sheds the job instead of queueing it behind a
@@ -400,6 +407,18 @@ type Scheduler struct {
 	// consumed output, cross-shard rematerialization).
 	matMu  sync.Mutex
 	matCtx *core.Context
+
+	// Fail-stop state (cluster killShard / fault plane): killed flips
+	// the scheduler into surrender mode — dispatch keeps flowing, but
+	// workers hand batches back through the surrender hook instead of
+	// executing them, and Submit/injectTasks refuse new work like a
+	// closed scheduler. Both hooks are installed once at shard
+	// construction, before the scheduler is visible to submitters, and
+	// never change; onBatch fires after each batch-start accounting,
+	// giving the fault plane a deterministic mid-batch kill point.
+	killed    atomic.Bool
+	surrender func([]*task)
+	onBatch   func()
 }
 
 type worker struct {
@@ -559,7 +578,7 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 	adm := s.spanBegin()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed || s.killed.Load() {
 		return nil, ErrClosed
 	}
 	// The future becomes a graph handle the moment Submit returns:
@@ -1021,7 +1040,7 @@ func (s *Scheduler) injectTasks(ts []*task) bool {
 	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	if s.closed {
+	if s.closed || s.killed.Load() {
 		return false
 	}
 	// Migrated tasks lose producer locality: any dependency resolved
@@ -1052,6 +1071,93 @@ func (s *Scheduler) injectTasks(ts []*task) bool {
 	s.outstandingAdd(len(ts), work)
 	s.wake(s.kick)
 	return true
+}
+
+// installFaultHooks wires the scheduler to its owning cluster's fault
+// plane: surrender re-homes tasks a killed worker hands back, onBatch
+// is the fault plane's deterministic mid-batch kill point. Called once
+// at shard construction, before the scheduler is visible to
+// submitters; the hooks are read only from worker goroutines that
+// received work through the usual synchronized channels.
+func (s *Scheduler) installFaultHooks(surrender func([]*task), onBatch func()) {
+	s.surrender = surrender
+	s.onBatch = onBatch
+}
+
+// kill flips the scheduler into fail-stop surrender mode: new work is
+// refused, and everything shipped to the workers is handed back
+// through the surrender hook for replay elsewhere instead of
+// executing. The simulated device itself stays readable (the node
+// lost its executor, not its memory), so device-resident outputs can
+// still be materialized through the owner path — which is exactly how
+// replayed graph consumers rehome their dependency edges.
+func (s *Scheduler) kill() {
+	if s.killed.CompareAndSwap(false, true) {
+		s.wake(s.kick)
+	}
+}
+
+// Killed reports whether the scheduler has been fail-stopped.
+func (s *Scheduler) Killed() bool { return s.killed.Load() }
+
+// batchHook fires the fault plane's per-batch hook (nil outside a
+// cluster), giving it a deterministic kill point between a batch's
+// start accounting and its settlement.
+func (s *Scheduler) batchHook() {
+	if h := s.onBatch; h != nil {
+		h()
+	}
+}
+
+// surrenderBatch hands a killed worker's batch back for replay,
+// releasing the worker's pending share; outstanding accounting stays
+// with this scheduler until the cluster transfers it, exactly like a
+// steal.
+func (w *worker) surrenderBatch(s *Scheduler, ts []*task) {
+	w.pending.Add(-int64(len(ts)))
+	s.surrenderTasks(ts)
+}
+
+// surrenderTasks re-homes tasks that a killed scheduler will not run:
+// stamps convert to relative form exactly as stealQueued does (elapsed
+// wait / remaining budget) and the cluster's surrender hook injects
+// them into a healthy shard, which rebases the stamps and rehomes any
+// dependency residencies host-side. Without a cluster hook (standalone
+// scheduler) the jobs fail with ErrShardLost instead — they are never
+// silently dropped, so Drain and Close cannot wedge on a kill.
+func (s *Scheduler) surrenderTasks(ts []*task) {
+	if len(ts) == 0 {
+		return
+	}
+	s.met.surrendered.Add(int64(len(ts)))
+	if s.surrender == nil {
+		for _, t := range ts {
+			s.failTask(t, ErrShardLost)
+		}
+		return
+	}
+	now := s.backend.SimulatedSeconds()
+	for _, t := range ts {
+		t.enq = now - t.enq // elapsed wait
+		if !math.IsInf(t.deadline, 1) {
+			t.deadline -= now // remaining budget (may be negative)
+		}
+	}
+	s.surrender(ts)
+}
+
+// failSurrendered terminates surrendered tasks (relative stamps) when
+// no healthy shard remained to replay them, restoring absolute stamps
+// for the failure accounting.
+func (s *Scheduler) failSurrendered(ts []*task) {
+	now := s.backend.SimulatedSeconds()
+	for _, t := range ts {
+		t.enq = now - t.enq
+		if !math.IsInf(t.deadline, 1) {
+			t.deadline += now
+		}
+		s.failTask(t, ErrShardLost)
+	}
 }
 
 // staged is the device-side state of one job mid-batch. out is set
@@ -1106,9 +1212,16 @@ func (s *Scheduler) runWorker(w *worker) {
 		s.met.idleEmptyNS.Add(time.Since(idle).Nanoseconds())
 		// The batch left the channel: a dispatch slot freed up.
 		s.wake(s.freec)
+		if s.killed.Load() {
+			// Fail-stop: hand the batch back for replay before any of
+			// it stages.
+			w.surrenderBatch(s, batch)
+			continue
+		}
 		// Record batch stats up front: jobDone on the batch's last job
 		// releases Drain, and Stats() must already see this batch then.
 		s.batchStarted(batch[0].class, len(batch))
+		s.batchHook()
 		est := s.spanBegin()
 		stagedJobs, fused := w.stageBatch(s, batch)
 		s.spanEnd(w.ring, est, w.track, "exec", catExec, s.className(batch[0].class), batch[0].bid, len(batch))
@@ -1161,6 +1274,14 @@ func (s *Scheduler) runWorkerOverlapped(w *worker) {
 				w.resolveBatch(s, pend)
 				pend = nil
 			}
+			if cur == nil && pend != nil {
+				// Killed: the received batch was surrendered with
+				// nothing staged; resolve the in-flight download before
+				// sleeping on the channel again (its futures must not
+				// wait out an idle worker).
+				w.resolveBatch(s, pend)
+				pend = nil
+			}
 		}
 		if cur == nil {
 			idle := time.Now()
@@ -1171,6 +1292,9 @@ func (s *Scheduler) runWorkerOverlapped(w *worker) {
 			s.met.idleEmptyNS.Add(time.Since(idle).Nanoseconds())
 			s.wake(s.freec)
 			cur = w.uploadBatch(s, batch)
+			if cur == nil {
+				continue // killed: batch surrendered
+			}
 		}
 		// Prefetch: if another batch is already queued, put its inputs
 		// on the copy engine now — they transfer while cur computes.
@@ -1183,6 +1307,7 @@ func (s *Scheduler) runWorkerOverlapped(w *worker) {
 		default:
 		}
 		s.batchStarted(cur.batch[0].class, len(cur.batch))
+		s.batchHook()
 		est := s.spanBegin()
 		stagedJobs, fused := w.stageUploaded(s, cur)
 		s.spanEnd(w.ring, est, w.track, "exec", catExec, s.className(cur.batch[0].class), cur.batch[0].bid, len(cur.batch))
@@ -1220,6 +1345,13 @@ type uploadedBatch struct {
 // submission on the copy engine, splicing borrowed device-resident
 // dependencies in afterwards (they move zero bytes).
 func (w *worker) uploadBatch(s *Scheduler, batch []*task) (ub *uploadedBatch) {
+	if s.killed.Load() {
+		// Fail-stop: surrender before anything uploads (the overlapped
+		// path's intake-side kill point). Callers treat a nil return as
+		// "batch surrendered, nothing in flight".
+		w.surrenderBatch(s, batch)
+		return nil
+	}
 	ub = &uploadedBatch{batch: batch}
 	defer func() {
 		if r := recover(); r != nil {
@@ -1306,6 +1438,20 @@ type pendingBatch struct {
 // recycle immediately: the simulator executes the memcpy functionally
 // at submission (a real backend would defer the free to the event).
 func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*staged) *pendingBatch {
+	if s.killed.Load() {
+		// Killed mid-batch, before settlement — the point of no return
+		// is settleOutput below, so the whole batch can still be
+		// surrendered for replay. A kill landing after this check lets
+		// the batch publish normally: a job either completes once or
+		// replays once, never both.
+		ts := make([]*task, len(stagedJobs))
+		for i, sj := range stagedJobs {
+			w.freeAll(sj)
+			ts[i] = sj.t
+		}
+		w.surrenderBatch(s, ts)
+		return nil
+	}
 	pb := &pendingBatch{staged: stagedJobs}
 	results := make([]*core.Ciphertext, len(stagedJobs))
 	any := false
@@ -1533,6 +1679,20 @@ func (w *worker) stageOn(s *Scheduler, t *task, ins []*core.Ciphertext) *staged 
 // first wait had already synchronized the host past every compute
 // event.
 func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
+	if s.killed.Load() {
+		// Killed mid-batch: nothing has settled or published yet — free
+		// the staged device state and surrender the whole batch for
+		// replay from host-side inputs. Dependency references travel
+		// with the tasks (the replay still needs them; injectTasks
+		// rehomes and releases them).
+		ts := make([]*task, len(stagedJobs))
+		for i, sj := range stagedJobs {
+			w.freeAll(sj)
+			ts[i] = sj.t
+		}
+		w.surrenderBatch(s, ts)
+		return
+	}
 	d2h := s.spanBegin()
 	var last gpu.Event
 	for _, sj := range stagedJobs {

@@ -88,6 +88,37 @@
 //	fut, err := cl.Submit(job) // routed to whichever shard is least loaded
 //	ct, err := fut.Wait()
 //
+// # Failure domains & fault injection
+//
+// Cluster shards can live on simulated remote nodes with distinct
+// failure domains: ClusterConfig.Nodes assigns each device a node id
+// and a network hop (latency plus bandwidth) that is priced on the
+// simulated timeline for every wire-format submission, transfer
+// payload and completion sync. The cluster is elastic and
+// failure-aware — AddShard grows it at runtime, health-checked routing
+// steers new work away from sick shards, and the Faults plane injects
+// failures for chaos drills: kill a shard mid-batch (its queued jobs
+// re-route to open shards and its in-flight jobs replay from host-side
+// inputs on a healthy one), kill a whole node, delay or drop network
+// hops, or corrupt health probes:
+//
+//	cl := xehe.NewCluster(params, kit,
+//		[]xehe.DeviceKind{xehe.Device1, xehe.Device1},
+//		xehe.ClusterConfig{Nodes: []xehe.NodeSpec{
+//			{Node: 0},                         // host-local
+//			{Node: 1, LatencyUS: 5, GBps: 12}, // remote node, 5us hop
+//		}})
+//	defer cl.Close()
+//
+//	cl.Faults().KillShard(1) // queued work re-routes, in-flight work replays
+//	idx, err := cl.AddShard(xehe.Device1, xehe.NodeSpec{Node: 2, LatencyUS: 5, GBps: 12})
+//	st := cl.Stats()         // st.Recovered, st.Replayed, st.Killed, st.Health
+//
+// Faults live in the timing and routing plane only — payload bytes are
+// never corrupted — so every job that completes, re-routed or
+// replayed, is still bit-for-bit identical to the serial path (pinned
+// by the chaos differential suite in internal/sched).
+//
 // # Cross-job kernel fusion
 //
 // Coalesced same-shape batches fuse their kernel launches (on by
@@ -572,6 +603,14 @@ type ServiceConfig struct {
 	// command trace; see the Observability section of the package
 	// documentation). The zero value keeps tracing off.
 	Trace TraceConfig
+	// Nodes places each cluster shard in a failure domain (Cluster
+	// only; Service ignores it). Entry i applies to device i; missing
+	// entries, or an entry with a zero hop, mean a host-local shard.
+	// With Nodes absent every shard defaults to its own node. A
+	// non-zero hop is priced on the simulated timeline for every
+	// wire-format submission, transfer payload and completion sync of
+	// that shard.
+	Nodes []NodeSpec
 }
 
 func (sc ServiceConfig) schedConfig() sched.Config {
@@ -682,7 +721,26 @@ type ClusterStats = sched.ClusterStats
 // simulated kernels are deterministic), pinned by the cluster
 // differential harness in internal/sched.
 type Cluster struct {
-	cl *sched.Cluster
+	cl  *sched.Cluster
+	cfg sched.Config
+}
+
+// NodeSpec places one cluster shard in a failure domain: a node id
+// (shards sharing a node share fate under FaultPlane.KillNode) plus
+// the simulated network hop between the router's host and that node.
+// A zero hop (LatencyUS == 0 && GBps == 0) is a host-local attachment;
+// a non-zero hop wraps the shard's device in a remote backend that
+// charges the hop on every wire crossing.
+type NodeSpec struct {
+	// Node is the failure-domain id.
+	Node int
+	// LatencyUS is the one-way wire latency in microseconds, charged
+	// per crossing on the simulated timeline (command submission going
+	// out, completion sync coming back).
+	LatencyUS float64
+	// GBps is the link bandwidth applied to H2D/D2H payloads on top of
+	// the device's own PCIe leg; 0 models a latency-only hop.
+	GBps float64
 }
 
 // ClusterConfig tunes the multi-device cluster. The fields are
@@ -693,14 +751,52 @@ type ClusterConfig = ServiceConfig
 
 // NewCluster builds a cluster service over one fresh simulated device
 // per kind (heterogeneous mixes allowed). Key material from kit is
-// replicated to every shard at construction.
+// replicated to every shard at construction. cc.Nodes optionally
+// places shards on simulated remote nodes with distinct failure
+// domains; without it every shard is host-local on its own node.
 func NewCluster(params *Parameters, kit *KeyKit, devs []DeviceKind, cc ClusterConfig) *Cluster {
-	specs := make([]gpu.DeviceSpec, len(devs))
+	cfg := cc.schedConfig()
+	specs := make([]sched.ShardSpec, len(devs))
 	for i, kind := range devs {
-		specs[i] = specFor(kind)
+		node := NodeSpec{Node: i}
+		if i < len(cc.Nodes) {
+			node = cc.Nodes[i]
+		}
+		specs[i] = shardSpec(deviceFor(kind), cfg, node)
 	}
-	return &Cluster{cl: sched.NewCluster(params.inner, gpu.Cluster(specs...), cc.schedConfig(), kit.rlk, kit.gks)}
+	return &Cluster{cl: sched.NewClusterShards(params.inner, specs, cfg, kit.rlk, kit.gks), cfg: cfg}
 }
+
+// shardSpec wires one device into a shard spec, wrapping it in a
+// remote backend when the node declares a network hop.
+func shardSpec(dev *gpu.Device, cfg sched.Config, node NodeSpec) sched.ShardSpec {
+	link := sched.NetLink{LatencySeconds: node.LatencyUS * 1e-6, GBps: node.GBps}
+	if link.Local() {
+		return sched.ShardSpec{Backend: sched.NewDeviceBackend(dev, cfg.Core.MemCache), Node: node.Node}
+	}
+	return sched.ShardSpec{Backend: sched.NewRemoteBackend(dev, cfg.Core.MemCache, node.Node, link), Node: node.Node}
+}
+
+// AddShard grows the cluster at runtime with a fresh device of the
+// given kind in the given failure domain — elastic scale-up, pairing
+// CloseShard's scale-down. The new shard warms its buffer cache per
+// the cluster's config and enters the routing tables immediately;
+// adding a shard after every existing shard closed (or was killed)
+// revives the cluster. It returns the new shard's index, or ErrClosed
+// after Close.
+func (c *Cluster) AddShard(kind DeviceKind, node NodeSpec) (int, error) {
+	return c.cl.AddShard(shardSpec(deviceFor(kind), c.cfg, node))
+}
+
+// FaultPlane is the cluster's fault-injection surface (Cluster.Faults)
+// for chaos drills: kill shards or whole nodes, degrade or drop
+// network hops, corrupt health probes. Faults live in the simulated
+// timing and routing plane only — payload bytes are never corrupted,
+// so completed results stay bit-identical to the serial path.
+type FaultPlane = sched.FaultPlane
+
+// Faults returns the cluster's fault-injection plane.
+func (c *Cluster) Faults() *FaultPlane { return c.cl.Faults() }
 
 // ErrClosed is returned by Submit after the service or cluster has
 // been closed.
@@ -709,6 +805,12 @@ var ErrClosed = sched.ErrClosed
 // ErrNoShards is returned by Cluster.Submit when every shard has been
 // retired via CloseShard but the cluster itself is still open.
 var ErrNoShards = sched.ErrNoShards
+
+// ErrShardLost is reported by Pending.Wait for a job that was in
+// flight on a fail-stopped shard when no open shard remained to
+// replay it on (with a healthy shard available — or added via
+// AddShard — the job replays there instead and completes normally).
+var ErrShardLost = sched.ErrShardLost
 
 // ErrOverloaded is returned by Submit when the job's class has a
 // partial admission share (ClassSpec.Share < 1) and its slice of the
