@@ -76,14 +76,18 @@ bench-graph:
 bench-trace:
 	$(GO) run ./cmd/xehe-bench -traceoverhead 200 -json
 
-# Fault-recovery smoke: the no-fault vs kill+addshard rows over a
-# 3-node Device1 cluster (shard 0 fail-stopped at 25%, replacement
-# added on a fresh node). The sweep exits non-zero unless every
-# chaos-run result is bit-identical to the no-fault run AND recovered
-# simulated throughput stays >= 80% of the baseline, so a regression
-# in surrender/replay or elastic AddShard fails CI quickly.
+# Fault-recovery smoke: no-fault vs cold kill+addshard vs kill under
+# the self-healing supervisor (one warm standby) vs graceful DrainShard
+# over a 3-node Device1 cluster (each drill fires at 25%; every variant
+# sampled at the median of 3 runs). The sweep exits non-zero unless
+# every run's results are bit-identical to the no-fault run, cold
+# recovery holds >= 80% and standby recovery >= 90% of the baseline
+# simulated throughput (standby at least matching cold — promotion
+# skips device construction and warm-up), and the drain replays zero
+# jobs, so a regression in surrender/replay, elastic AddShard, standby
+# promotion, or draining hand-off fails CI quickly.
 bench-chaos:
-	$(GO) run ./cmd/xehe-bench -chaos 200 -json
+	$(GO) run ./cmd/xehe-bench -chaos 400 -json
 
 # Record the bench trajectory: the standard 500-job cluster + mixed
 # QoS + fusion + transfer + graph-residency + trace-overhead +

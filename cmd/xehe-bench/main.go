@@ -10,7 +10,7 @@
 //	xehe-bench -cluster 200    # multi-device cluster sweep (1/2/4 devices + heterogeneous)
 //	xehe-bench -cluster 200 -json  # same, as machine-readable JSON
 //	xehe-bench -fusion 200     # fused vs unfused cross-job kernel fusion sweep
-//	xehe-bench -chaos 200      # fault-recovery sweep (shard killed + replaced mid-run vs no-fault)
+//	xehe-bench -chaos 400      # fault-recovery sweep (kill+addshard, kill under self-heal, drain vs no-fault)
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"xehe"
@@ -33,7 +34,7 @@ func main() {
 	fusion := flag.Int("fusion", 0, "run the fused-vs-unfused kernel fusion sweep with this many jobs per configuration")
 	transfer := flag.Int("transfer", 0, "run the fused-transfer (copy/compute overlap) sweep with this many jobs per configuration")
 	graph := flag.Int("graph", 0, "run the job-graph residency sweep (chained jobs via InputFrom vs host round-trips) with this many jobs per configuration")
-	chaos := flag.Int("chaos", 0, "run the fault-recovery sweep (one shard killed and replaced mid-run vs the no-fault baseline) with this many jobs per configuration")
+	chaos := flag.Int("chaos", 0, "run the fault-recovery sweep (cold kill+addshard, kill under self-heal, graceful drain vs the no-fault baseline) with this many jobs per configuration")
 	tracePath := flag.String("trace", "", "record a Perfetto/Chrome trace of the standard mixed-QoS cluster stream to this file")
 	traceOverhead := flag.Int("traceoverhead", 0, "run the tracing-overhead sweep (tracing off vs on) with this many jobs per configuration")
 	jsonOut := flag.Bool("json", false, "emit -service/-cluster/-fusion/-transfer/-graph/-traceoverhead results as machine-readable JSON instead of tables")
@@ -191,6 +192,15 @@ type throughputResult struct {
 	RecoveredJobs int64 `json:"recovered_jobs,omitempty"`
 	ReplayedJobs  int64 `json:"replayed_jobs,omitempty"`
 	AddedShards   int64 `json:"added_shards,omitempty"`
+	// Self-healing and graceful-retirement counters (the -chaos sweep's
+	// kill+selfheal and drain rows): kills absorbed by promoting a warm
+	// standby, queued jobs handed off replay-free by DrainShard,
+	// device-resident outputs a drain pre-copied to the host, and
+	// transient failures resolved by the per-job retry budget.
+	StandbyPromotions int64 `json:"standby_promotions,omitempty"`
+	DrainedJobs       int64 `json:"drained_jobs,omitempty"`
+	MigratedResidents int64 `json:"migrated_residents,omitempty"`
+	RetryAttempts     int64 `json:"retry_attempts,omitempty"`
 }
 
 func emitResults(results []throughputResult) {
@@ -770,28 +780,40 @@ func graphSweep(jobs int, jsonOut bool) []throughputResult {
 }
 
 // chaosSweep is the fault-recovery sweep: the standard job stream runs
-// twice over a 3-node Device1 cluster — once fault-free, once with
-// shard 0 fail-stopped a quarter into the run and a replacement shard
-// added on a fresh node immediately after. The chaos run's queued
-// backlog re-routes and its in-flight jobs replay from host inputs, so
-// every job still completes; the acceptance contract (enforced here,
-// exit non-zero on violation) is bit-identical results and simulated
-// throughput >= 80% of the no-fault baseline. The two rows record
-// recovered-jobs/s and the recovery latency tail (P99) for the
+// over a 3-node Device1 cluster in four variants — fault-free; with
+// shard 0 fail-stopped a quarter in and a replacement added cold via
+// AddShard; with the same kill absorbed by the self-healing supervisor
+// promoting a warm standby; and with shard 0 gracefully drained
+// instead of killed. Every variant's queued backlog re-routes and (for
+// the kills) its in-flight jobs replay, so every job still completes;
+// the acceptance contract (enforced here, exit non-zero on violation)
+// is bit-identical results across every run of every variant, cold
+// recovery >= 80% and standby recovery >= 90% of the no-fault
+// simulated throughput (with the standby at least matching the cold
+// path), and a drain that replays exactly zero jobs. Each variant is
+// sampled three times and reported at its median simulated throughput:
+// batch composition and transfer fusion depend on host-thread arrival
+// order, so single-run sim throughput wobbles a few percent and a
+// ratio of two single draws would flap against the floors. The rows
+// record recovered-jobs/s and the recovery latency tail (P99) for the
 // benchmark trajectory.
 func chaosSweep(jobs int, jsonOut bool) []throughputResult {
 	params, kit, cta, ctb := benchInputs()
 	devs := []xehe.DeviceKind{xehe.Device1, xehe.Device1, xehe.Device1}
-	nodes := []xehe.NodeSpec{{Node: 0}, {Node: 1}, {Node: 2}}
+	baseCfg := xehe.ClusterConfig{WarmBuffers: 32,
+		Nodes: []xehe.NodeSpec{{Node: 0}, {Node: 1}, {Node: 2}}}
+	healCfg := baseCfg
+	healCfg.SelfHeal = xehe.ToggleOn
+	healCfg.Standbys = 1
 	var results []throughputResult
 	if !jsonOut {
-		fmt.Printf("\nfault-recovery sweep (%d jobs on 3x Device1 across 3 nodes; chaos run: shard 0 killed at 25%%, replacement added on node 3)\n\n", jobs)
-		fmt.Printf("%-14s %8s %12s %14s %8s %10s %10s %10s\n",
-			"config", "jobs", "jobs/sec", "sim-jobs/sec", "killed", "replayed", "recovered", "p99-ms")
+		fmt.Printf("\nfault-recovery sweep (%d jobs on 3x Device1 across 3 nodes; drills at 25%%: cold kill+addshard, kill under self-heal, graceful drain; median of 3 runs)\n\n", jobs)
+		fmt.Printf("%-14s %8s %12s %14s %8s %10s %10s %9s %8s %10s\n",
+			"config", "jobs", "jobs/sec", "sim-jobs/sec", "killed", "replayed", "recovered", "promoted", "drained", "p99-ms")
 	}
 
-	run := func(name string, inject bool) ([]*xehe.Ciphertext, throughputResult) {
-		cl := xehe.NewCluster(params, kit, devs, xehe.ClusterConfig{WarmBuffers: 32, Nodes: nodes})
+	run := func(name string, cc xehe.ClusterConfig, drill func(cl *xehe.Cluster)) ([]*xehe.Ciphertext, throughputResult) {
+		cl := xehe.NewCluster(params, kit, devs, cc)
 		defer cl.Close()
 		for i := 0; i < 8*len(devs); i++ {
 			if _, err := cl.Submit(buildJob(cta, ctb)); err != nil {
@@ -805,15 +827,8 @@ func chaosSweep(jobs int, jsonOut bool) []throughputResult {
 		futs := make([]*xehe.Pending, jobs)
 		start := time.Now()
 		for i := range futs {
-			if inject && i == jobs/4 {
-				// The failure drill: fail-stop one shard mid-stream
-				// (in-flight batches surrender and replay elsewhere),
-				// then scale back up on a brand-new failure domain.
-				cl.Faults().KillShard(0)
-				if _, err := cl.AddShard(xehe.Device1, xehe.NodeSpec{Node: 3}); err != nil {
-					fmt.Fprintf(os.Stderr, "addshard: %v\n", err)
-					os.Exit(1)
-				}
+			if drill != nil && i == jobs/4 {
+				drill(cl)
 			}
 			f, err := cl.Submit(buildJob(cta, ctb))
 			if err != nil {
@@ -841,54 +856,134 @@ func chaosSweep(jobs int, jsonOut bool) []throughputResult {
 			SimJobsPerSec: float64(jobs) / cl.SimulatedSeconds(),
 			Batches:       st.Batches - warm.Batches,
 			KilledShards:  st.Killed, RecoveredJobs: st.Recovered, ReplayedJobs: st.Replayed,
-			AddedShards: st.Added,
-			P50Ms:       batch.P50 * 1e3, P99Ms: batch.P99 * 1e3,
+			AddedShards:       st.Added,
+			StandbyPromotions: st.StandbyPromoted,
+			DrainedJobs:       st.Drained,
+			MigratedResidents: st.Migrated,
+			RetryAttempts:     st.RetryAttempts,
+			P50Ms:             batch.P50 * 1e3, P99Ms: batch.P99 * 1e3,
 			Stolen: append([]int64(nil), st.Stolen...),
 		}
 		return cts, r
 	}
 
-	base, baseRow := run("no-fault", false)
-	chaos, chaosRow := run("kill+addshard", true)
+	// sample runs one variant reps times, pinning every run's results
+	// bit-identical to the first no-fault run (replay, promotion and
+	// drain are timing events, never value events) and keeping the
+	// median-throughput row.
+	const reps = 3
+	var base []*xehe.Ciphertext
+	sample := func(name string, cc xehe.ClusterConfig, drill func(cl *xehe.Cluster)) throughputResult {
+		rows := make([]throughputResult, 0, reps)
+		for r := 0; r < reps; r++ {
+			cts, row := run(name, cc, drill)
+			if base == nil {
+				base = cts
+			} else {
+				for i := range base {
+					if !ctsBitEqual(base[i], cts[i]) {
+						fmt.Fprintf(os.Stderr, "chaos sweep: job %d result differs between no-fault and %s runs\n", i, name)
+						os.Exit(1)
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].SimJobsPerSec < rows[j].SimJobsPerSec })
+		return rows[reps/2]
+	}
 
-	// Acceptance: every chaos-run result bit-identical to the baseline
-	// (replay is a timing event, never a value event)...
-	for i := range base {
-		if !ctsBitEqual(base[i], chaos[i]) {
-			fmt.Fprintf(os.Stderr, "chaos sweep: job %d result differs between no-fault and chaos runs\n", i)
+	baseRow := sample("no-fault", baseCfg, nil)
+	chaosRow := sample("kill+addshard", baseCfg, func(cl *xehe.Cluster) {
+		// The cold drill: fail-stop one shard mid-stream (in-flight
+		// batches surrender and replay elsewhere), then scale back up
+		// on a brand-new failure domain.
+		cl.Faults().KillShard(0)
+		if _, err := cl.AddShard(xehe.Device1, xehe.NodeSpec{Node: 3}); err != nil {
+			fmt.Fprintf(os.Stderr, "addshard: %v\n", err)
 			os.Exit(1)
 		}
-	}
+	})
+	healRow := sample("kill+selfheal", healCfg, func(cl *xehe.Cluster) {
+		// The self-healing drill: same kill, no manual recovery — the
+		// supervisor promotes its warm standby inside the kill itself.
+		cl.Faults().KillShard(0)
+	})
+	drainRow := sample("drain", baseCfg, func(cl *xehe.Cluster) {
+		// The graceful drill: retire the shard instead of killing it —
+		// queued work hands off as-is, in-flight work settles in place.
+		cl.DrainShard(0)
+	})
 	if chaosRow.KilledShards != 1 || chaosRow.AddedShards != 1 {
-		fmt.Fprintf(os.Stderr, "chaos sweep: drill did not run (killed %d, added %d)\n",
+		fmt.Fprintf(os.Stderr, "chaos sweep: cold drill did not run (killed %d, added %d)\n",
 			chaosRow.KilledShards, chaosRow.AddedShards)
 		os.Exit(1)
 	}
-	// ...at >= 80% of the no-fault simulated throughput (one shard dark
-	// for the surrender-replay window, replacement absorbing the rest).
-	// The floor assumes the kill amortizes over the standard run length;
-	// short runs report the ratio without enforcing it.
-	ratio := chaosRow.SimJobsPerSec / baseRow.SimJobsPerSec
-	if ratio < 0.8 {
+	if healRow.KilledShards != 1 || healRow.StandbyPromotions != 1 {
+		fmt.Fprintf(os.Stderr, "chaos sweep: self-heal drill did not run (killed %d, promoted %d)\n",
+			healRow.KilledShards, healRow.StandbyPromotions)
+		os.Exit(1)
+	}
+	if drainRow.ReplayedJobs != 0 || drainRow.KilledShards != 0 {
+		fmt.Fprintf(os.Stderr, "chaos sweep: drain must not replay or kill (replayed %d, killed %d)\n",
+			drainRow.ReplayedJobs, drainRow.KilledShards)
+		os.Exit(1)
+	}
+	// ...with the cold path at >= 80% of the no-fault simulated
+	// throughput (one shard dark for the surrender-replay window,
+	// replacement absorbing the rest) and the warm-standby path at
+	// >= 90% and no worse than cold (the promotion costs one routing
+	// append instead of a device construction). The floors assume the
+	// kill amortizes over the standard run length; short runs report the
+	// ratios without enforcing them. The self-heal floor sits a couple
+	// of points under the typical median, so a single unlucky pair of
+	// medians gets one full resample of the baseline and self-heal rows
+	// before the gate fails: a real promotion regression (capacity down
+	// a shard for the rest of the run) lands near 73% on every attempt,
+	// while measurement noise does not miss twice.
+	coldRatio := chaosRow.SimJobsPerSec / baseRow.SimJobsPerSec
+	healRatio := healRow.SimJobsPerSec / baseRow.SimJobsPerSec
+	if coldRatio < 0.8 {
 		if jobs >= 100 {
-			fmt.Fprintf(os.Stderr, "chaos sweep: recovered throughput %.0f sim-jobs/s is %.0f%% of no-fault %.0f, want >= 80%%\n",
-				chaosRow.SimJobsPerSec, 100*ratio, baseRow.SimJobsPerSec)
+			fmt.Fprintf(os.Stderr, "chaos sweep: cold recovered throughput %.0f sim-jobs/s is %.0f%% of no-fault %.0f, want >= 80%%\n",
+				chaosRow.SimJobsPerSec, 100*coldRatio, baseRow.SimJobsPerSec)
 			os.Exit(1)
 		}
-		fmt.Fprintf(os.Stderr, "chaos sweep: recovered throughput at %.0f%% of no-fault; >= 80%% floor enforced only at >= 100 jobs (got %d)\n",
-			100*ratio, jobs)
+		fmt.Fprintf(os.Stderr, "chaos sweep: cold recovery at %.0f%% of no-fault; >= 80%% floor enforced only at >= 100 jobs (got %d)\n",
+			100*coldRatio, jobs)
+	}
+	if healRatio < 0.9 || healRatio < coldRatio {
+		fmt.Fprintf(os.Stderr, "chaos sweep: self-heal medians at %.0f%% of no-fault (cold %.0f%%); resampling once\n",
+			100*healRatio, 100*coldRatio)
+		baseRow = sample("no-fault", baseCfg, nil)
+		healRow = sample("kill+selfheal", healCfg, func(cl *xehe.Cluster) { cl.Faults().KillShard(0) })
+		coldRatio = chaosRow.SimJobsPerSec / baseRow.SimJobsPerSec
+		healRatio = healRow.SimJobsPerSec / baseRow.SimJobsPerSec
+	}
+	// The self-heal floor is tighter, so it needs a longer run to
+	// amortize the kill's fixed recovery cost out of the noise.
+	if healRatio < 0.9 || healRatio < coldRatio {
+		if jobs >= 400 {
+			fmt.Fprintf(os.Stderr, "chaos sweep: self-heal recovered throughput %.0f sim-jobs/s is %.0f%% of no-fault (cold: %.0f%%), want >= 90%% and >= cold\n",
+				healRow.SimJobsPerSec, 100*healRatio, 100*coldRatio)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "chaos sweep: self-heal recovery at %.0f%% of no-fault (cold %.0f%%); floors enforced only at >= 400 jobs (got %d)\n",
+			100*healRatio, 100*coldRatio, jobs)
 	}
 
-	for _, r := range []throughputResult{baseRow, chaosRow} {
+	for _, r := range []throughputResult{baseRow, chaosRow, healRow, drainRow} {
 		results = append(results, r)
 		if !jsonOut {
-			fmt.Printf("%-14s %8d %12.1f %14.0f %8d %10d %10d %10.3f\n",
+			fmt.Printf("%-14s %8d %12.1f %14.0f %8d %10d %10d %9d %8d %10.3f\n",
 				r.Config, r.Jobs, r.JobsPerSec, r.SimJobsPerSec,
-				r.KilledShards, r.ReplayedJobs, r.RecoveredJobs, r.P99Ms)
+				r.KilledShards, r.ReplayedJobs, r.RecoveredJobs,
+				r.StandbyPromotions, r.DrainedJobs, r.P99Ms)
 		}
 	}
 	if !jsonOut {
-		fmt.Printf("\nrecovered throughput: %.0f%% of no-fault baseline, results bit-identical\n", 100*ratio)
+		fmt.Printf("\nrecovered throughput: cold %.0f%%, self-heal %.0f%% of no-fault baseline; drain replayed 0; results bit-identical\n",
+			100*coldRatio, 100*healRatio)
 	}
 	return results
 }

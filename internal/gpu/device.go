@@ -1,11 +1,21 @@
 package gpu
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"xehe/internal/isa"
 )
+
+// ErrLinkFault marks a wire-level loss of a submitted command on a
+// remote device's network hop: unlike an injected drop (which the link
+// layer retransmits transparently, pricing only time), a fault loses
+// the command outright and surfaces to the submitter as an error. It
+// is the canonical transient failure — a retry of the same submission
+// is expected to succeed — and schedulers match it with errors.Is to
+// drive retry policies.
+var ErrLinkFault = errors.New("gpu: link fault (command lost on the wire)")
 
 // Device is a simulated Intel GPU. It owns per-tile command timelines
 // and a simulated host clock, so fully asynchronous pipelines (Fig. 2)
@@ -43,18 +53,30 @@ type link struct {
 	delay  Cycles // injected extra latency while delayN > 0
 	delayN int64  // remaining hops that pay delay
 	dropN  int64  // remaining hops that are dropped and retransmitted
+	failN  int64  // remaining hops that are lost outright (ErrLinkFault)
 
 	hops    int64 // forward crossings priced
 	delayed int64
 	dropped int64
+	faulted int64
 	cycles  Cycles // total link cycles charged on forward crossings
 }
 
 // hop prices one forward crossing, consuming injected faults: a dropped
 // hop is retransmitted (the lost attempt plus the retry each pay the
-// wire latency), a delayed hop pays the injected extra on top.
-func (l *link) hop() Cycles {
-	c := l.latency
+// wire latency), a delayed hop pays the injected extra on top, and a
+// faulted hop is lost outright — the attempt pays the wire latency but
+// the command never arrives (lost=true; the caller surfaces
+// ErrLinkFault).
+func (l *link) hop() (c Cycles, lost bool) {
+	if l.failN > 0 {
+		l.failN--
+		l.faulted++
+		l.hops++
+		l.cycles += l.latency
+		return l.latency, true
+	}
+	c = l.latency
 	if l.dropN > 0 {
 		l.dropN--
 		l.dropped++
@@ -67,7 +89,7 @@ func (l *link) hop() Cycles {
 	}
 	l.hops++
 	l.cycles += c
-	return c
+	return c, false
 }
 
 // LinkStats is a snapshot of a remote device's network-hop counters.
@@ -75,6 +97,7 @@ type LinkStats struct {
 	Hops      int64  // forward crossings priced (submits; copies pay one each)
 	Delayed   int64  // crossings that consumed an injected delay
 	Dropped   int64  // crossings that consumed an injected drop (retransmitted)
+	Faulted   int64  // crossings lost outright (surfaced as ErrLinkFault)
 	HopCycles Cycles // total link cycles charged on forward crossings
 }
 
@@ -128,6 +151,18 @@ func (d *Device) InjectLinkDrop(hops int64) {
 	d.ensureLinkLocked().dropN += hops
 }
 
+// InjectLinkFault loses the next hops forward crossings outright: each
+// faulted submission pays the wire latency for the lost attempt and
+// then panics with an error wrapping ErrLinkFault, which the scheduler
+// worker recovers into the job's failure (and, under a retry policy,
+// re-executes). Unlike InjectLinkDrop this is not timing-plane only —
+// the command is genuinely lost and the submitter must re-drive it.
+func (d *Device) InjectLinkFault(hops int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.ensureLinkLocked().failN += hops
+}
+
 // LinkStats returns the hop counters (zero for a host-local device).
 func (d *Device) LinkStats() LinkStats {
 	d.mu.Lock()
@@ -136,7 +171,8 @@ func (d *Device) LinkStats() LinkStats {
 		return LinkStats{}
 	}
 	return LinkStats{Hops: d.link.hops, Delayed: d.link.delayed,
-		Dropped: d.link.dropped, HopCycles: d.link.cycles}
+		Dropped: d.link.dropped, Faulted: d.link.faulted,
+		HopCycles: d.link.cycles}
 }
 
 // linkLeg prices the bandwidth leg of an n-byte payload crossing the
@@ -439,7 +475,15 @@ func (q *Queue) submitOn(name string, dur Cycles, copyEngine bool, deps ...Event
 	if d.link != nil {
 		// The wire-format command streams across the hop: the host is
 		// not stalled, but the command cannot start before it arrives.
-		arrive += d.link.hop()
+		hopC, lost := d.link.hop()
+		arrive += hopC
+		if lost {
+			// The command never arrived; nothing lands on a timeline.
+			// Release the device lock before unwinding — the recovering
+			// worker will query this device again.
+			d.mu.Unlock()
+			panic(fmt.Errorf("link: %s lost on the wire: %w", name, ErrLinkFault))
+		}
 	}
 	tl := d.tileTime
 	if copyEngine {

@@ -87,16 +87,35 @@ type Cluster struct {
 
 	faults *FaultPlane
 
+	// sup is the self-healing control loop (Config.SelfHeal): standby
+	// promotion and cold replacement of killed shards. nil when off.
+	sup *supervisor
+
+	// Retry plane (retry.go): tasks whose transient failures are being
+	// re-run land in retryQ (relative stamps, backoff priced in) and a
+	// lazily started loop re-injects them. retryStopped gates intake so
+	// Close can drain the plane without stranding a task.
+	retryMu      sync.Mutex
+	retryQ       []retryEntry
+	retryLoopUp  bool
+	retryStopped bool
+	stopRetry    chan struct{}
+	retryWg      sync.WaitGroup
+
 	// obsReg holds the cluster's own instruments (routing and recovery
 	// events the shards cannot see); Metrics merges it with the shard
 	// registries.
-	obsReg    *obs.Registry
-	rerouted  *obs.Counter
-	shed      *obs.Counter
-	recovered *obs.Counter
-	replayed  *obs.Counter
-	killedCnt *obs.Counter
-	addedCnt  *obs.Counter
+	obsReg      *obs.Registry
+	rerouted    *obs.Counter
+	shed        *obs.Counter
+	recovered   *obs.Counter
+	replayed    *obs.Counter
+	killedCnt   *obs.Counter
+	addedCnt    *obs.Counter
+	standbyCnt  *obs.Counter
+	drainedCnt  *obs.Counter
+	migratedCnt *obs.Counter
+	retryCnt    *obs.Counter
 }
 
 // shard is one device's scheduler plus its routing and health state.
@@ -115,6 +134,14 @@ type shard struct {
 	// batches-until-kill countdown (0 = disarmed).
 	sick      atomic.Int64
 	killAfter atomic.Int64
+
+	// Self-healing state: rebuild (from ShardSpec.Rebuild) constructs a
+	// fresh equivalent backend for replacement and standby stocking;
+	// replaced marks a killed shard whose replacement has been arranged
+	// (standby promoted or cold rebuild launched), so the supervisor
+	// repairs each loss exactly once.
+	rebuild  func() Backend
+	replaced atomic.Bool
 }
 
 // probe runs one health check against the shard: false while it is out
@@ -178,6 +205,12 @@ func (sh *shard) maybeKill(c *Cluster) {
 type ShardSpec struct {
 	Backend Backend
 	Node    int
+	// Rebuild, when set, constructs a fresh backend equivalent to
+	// Backend (same device kind, same link pricing): the supervisor
+	// uses it to cold-replace this shard after a kill and as a
+	// template for the warm standby pool. Shards without it are not
+	// self-healable (the supervisor skips them).
+	Rebuild func() Backend
 }
 
 // NewCluster builds a router over one scheduler per device, each on
@@ -187,7 +220,14 @@ type ShardSpec struct {
 func NewCluster(params *ckks.Parameters, devs []*gpu.Device, cfg Config, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey) *Cluster {
 	specs := make([]ShardSpec, len(devs))
 	for i, dev := range devs {
-		specs[i] = ShardSpec{Backend: NewDeviceBackend(dev, cfg.Core.MemCache), Node: i}
+		spec := dev.Spec
+		specs[i] = ShardSpec{
+			Backend: NewDeviceBackend(dev, cfg.Core.MemCache),
+			Node:    i,
+			// Replacements simulate a fresh device of the same model:
+			// the dead one's executor is gone, its spec is not.
+			Rebuild: func() Backend { return NewDeviceBackend(gpu.NewDevice(spec), cfg.Core.MemCache) },
+		}
 	}
 	return NewClusterShards(params, specs, cfg, rlk, gks)
 }
@@ -203,6 +243,13 @@ func NewClusterShards(params *ckks.Parameters, specs []ShardSpec, cfg Config, rl
 	if len(specs) == 0 {
 		panic("sched: cluster needs at least one shard")
 	}
+	// Resolve the cluster-level knobs here (the shards re-resolve the
+	// full Config per device; these resolutions are idempotent).
+	cfg.selfHeal = cfg.SelfHeal.or(false)
+	if cfg.Standbys < 0 {
+		cfg.Standbys = 0
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
 	c := &Cluster{
 		params:    params,
 		cfg:       cfg,
@@ -210,6 +257,7 @@ func NewClusterShards(params *ckks.Parameters, specs []ShardSpec, cfg Config, rl
 		gks:       gks,
 		closeDone: make(chan struct{}),
 		stopSteal: make(chan struct{}),
+		stopRetry: make(chan struct{}),
 		obsReg:    obs.NewRegistry(),
 	}
 	c.rerouted = c.obsReg.Counter("cluster.rerouted_jobs")
@@ -218,6 +266,10 @@ func NewClusterShards(params *ckks.Parameters, specs []ShardSpec, cfg Config, rl
 	c.replayed = c.obsReg.Counter("cluster.replayed_jobs")
 	c.killedCnt = c.obsReg.Counter("cluster.killed_shards")
 	c.addedCnt = c.obsReg.Counter("cluster.added_shards")
+	c.standbyCnt = c.obsReg.Counter("cluster.standby_promotions")
+	c.drainedCnt = c.obsReg.Counter("cluster.drained_jobs")
+	c.migratedCnt = c.obsReg.Counter("cluster.migrated_residents")
+	c.retryCnt = c.obsReg.Counter("cluster.retry_attempts")
 	c.faults = &FaultPlane{c: c}
 	shards := make([]*shard, 0, len(specs))
 	for i, spec := range specs {
@@ -227,6 +279,9 @@ func NewClusterShards(params *ckks.Parameters, specs []ShardSpec, cfg Config, rl
 	c.rejected = make([]atomic.Int64, len(shards[0].sched.classes))
 	if len(shards) > 1 {
 		c.startStealingLocked()
+	}
+	if c.cfg.selfHeal {
+		c.sup = newSupervisor(c)
 	}
 	return c
 }
@@ -240,14 +295,16 @@ func (c *Cluster) newShard(id int, spec ShardSpec) *shard {
 		replica[k] = v
 	}
 	sh := &shard{
-		id:     id,
-		node:   spec.Node,
-		sched:  NewOn(c.params, spec.Backend, c.cfg, c.rlk, replica),
-		weight: shardWeight(spec.Backend),
+		id:      id,
+		node:    spec.Node,
+		sched:   NewOn(c.params, spec.Backend, c.cfg, c.rlk, replica),
+		weight:  shardWeight(spec.Backend),
+		rebuild: spec.Rebuild,
 	}
 	sh.sched.installFaultHooks(
 		func(ts []*task) { c.recoverTasks(sh, ts) },
 		func() { sh.maybeKill(c) },
+		func(t *task, err error) bool { return c.offerRetry(sh, t, err) },
 	)
 	return sh
 }
@@ -297,13 +354,31 @@ func (c *Cluster) Faults() *FaultPlane { return c.faults }
 // ErrNoShards. It returns the new shard's index, or ErrClosed after
 // Close.
 func (c *Cluster) AddShard(spec ShardSpec) (int, error) {
+	// Build outside c.mu — shard construction (device contexts, cache
+	// warm-up) is slow, and the supervisor builds standbys through the
+	// same path long before publication.
+	sh := c.newShard(-1, spec)
+	id, err := c.publishShard(sh)
+	if err != nil {
+		sh.sched.Close()
+		return 0, err
+	}
+	return id, nil
+}
+
+// publishShard appends a fully built shard to the routing snapshot,
+// assigning its id. The id write outside any lock is race-free: work
+// can only reach a shard through the published snapshot, and the
+// store below publishes the write. Closing clusters refuse the shard
+// (the caller owns its teardown).
+func (c *Cluster) publishShard(sh *shard) (int, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return 0, ErrClosed
 	}
 	old := c.all()
-	sh := c.newShard(len(old), spec)
+	sh.id = len(old)
 	shards := make([]*shard, len(old), len(old)+1)
 	copy(shards, old)
 	shards = append(shards, sh)
@@ -543,7 +618,12 @@ func (c *Cluster) stealRound() {
 			continue
 		}
 		if q := sh.sched.QueuedJobs(); q > backlog {
-			victim, backlog = i, q
+			// An armed deterministic kill (KillShardAfter) pins the
+			// backlog: stealing it away races the scripted batch count
+			// and the kill may never fire.
+			if sh.killAfter.Load() == 0 {
+				victim, backlog = i, q
+			}
 		} else if q == 0 && idle < 0 && sh.sched.Outstanding() == 0 {
 			idle = i
 		}
@@ -643,6 +723,12 @@ func (c *Cluster) killShard(i int) bool {
 	sh.closed.Store(true)
 	sh.sched.kill()
 	c.killedCnt.Add(1)
+	// Self-heal before evacuating: promoting a warm standby here means
+	// the dead shard's backlog (and every routing decision from now
+	// on) already sees the replacement capacity.
+	if c.sup != nil {
+		c.sup.onKill(sh)
+	}
 	// Evacuate the queued backlog like CloseShard: jobs not yet
 	// dispatched need no replay, they just re-route.
 	c.stealMu.Lock()
@@ -699,18 +785,37 @@ func (c *Cluster) recoverLocked(src *shard, ts []*task, work float64) {
 		// dst closed between the scan and the inject (impossible under
 		// stealMu today, but cheap to tolerate): rescan.
 	}
-	src.sched.failSurrendered(ts)
+	// No open shard remained. Tasks with retry budget for the loss park
+	// in the retry plane — the supervisor may still be replacing the
+	// killed capacity — and only the rest fail outright.
+	var fail []*task
+	for _, t := range ts {
+		if !c.queueRetry(src, t, ErrShardLost) {
+			fail = append(fail, t)
+		}
+	}
+	if len(fail) > 0 {
+		src.sched.failSurrendered(fail)
+	}
 }
 
 // CloseShard takes one shard out of rotation, re-routes its queued
 // (not yet dispatched) backlog to the remaining open shards, and
 // closes its scheduler, draining the jobs already on its workers —
 // e.g. to retire a device without stopping the cluster or stranding
-// accepted jobs behind it. It is idempotent per shard; with every
-// shard closed, Submit returns ErrNoShards (until AddShard revives
-// the cluster).
+// accepted jobs behind it. It is idempotent per shard, and a no-op on
+// a shard the fault plane already killed: the kill evacuated the
+// backlog and surrendered the in-flight work, and tearing the
+// scheduler down here would race replays still materializing resident
+// outputs off the dead device (Close owns that final teardown). With
+// every shard closed, Submit returns ErrNoShards (until AddShard
+// revives the cluster). For a graceful, replay-free retirement of a
+// loaded shard, use DrainShard instead.
 func (c *Cluster) CloseShard(i int) {
 	sh := c.all()[i]
+	if sh.killed.Load() {
+		return
+	}
 	c.stealMu.Lock()
 	sh.closed.Store(true)
 	c.evacuateLocked(sh, c.rerouted)
@@ -735,6 +840,15 @@ func (c *Cluster) Close() {
 	// mid-flight steal always has an open destination.
 	close(c.stopSteal)
 	c.stealWg.Wait()
+	// Stop the supervisor next: in-flight repairs either published
+	// before the snapshot below (and close with the fleet) or saw
+	// closed and tore their orphan down; pooled standbys close here.
+	if c.sup != nil {
+		c.sup.stop()
+	}
+	// Drain the retry plane: parked tasks fail with their original
+	// errors rather than waiting for capacity that will never come.
+	c.stopRetries()
 	shards := c.all()
 	c.stealMu.Lock()
 	for _, sh := range shards {
@@ -768,14 +882,27 @@ type ClusterStats struct {
 	// Failure-domain counters: Recovered counts queued jobs evacuated
 	// off killed shards, Replayed counts in-flight jobs surrendered by
 	// killed workers and re-executed on a healthy shard, Killed counts
-	// fail-stopped shards, Added counts AddShard growths. Health is
-	// the per-shard state at snapshot time: "ok", "sick", "killed" or
-	// "closed".
+	// fail-stopped shards, Added counts shard publications (AddShard
+	// calls, standby promotions and supervisor cold replacements all
+	// grow the fleet through the same path). Health is the per-shard
+	// state at snapshot time: "ok", "sick", "killed" or "closed".
 	Recovered int64
 	Replayed  int64
 	Killed    int64
 	Added     int64
 	Health    []string
+	// Recovery counters (supervisor / drain / retry planes):
+	// StandbyPromoted counts kills absorbed by promoting a warm standby
+	// (instant replacement, no device construction); Drained counts
+	// queued jobs re-routed by DrainShard's graceful scale-down (vs
+	// Recovered+Replayed for a fail-stop — a drain replays nothing);
+	// Migrated counts device-resident outputs a drain pre-copied to the
+	// host; RetryAttempts counts re-executions of transiently failed
+	// jobs (also broken down per class as PerClass Retried).
+	StandbyPromoted int64
+	Drained         int64
+	Migrated        int64
+	RetryAttempts   int64
 }
 
 // Stats returns a snapshot of the aggregate and per-shard counters.
@@ -790,6 +917,11 @@ func (c *Cluster) Stats() ClusterStats {
 		Replayed:  c.replayed.Value(),
 		Killed:    c.killedCnt.Value(),
 		Added:     c.addedCnt.Value(),
+
+		StandbyPromoted: c.standbyCnt.Value(),
+		Drained:         c.drainedCnt.Value(),
+		Migrated:        c.migratedCnt.Value(),
+		RetryAttempts:   c.retryCnt.Value(),
 	}
 	classes := shards[0].sched.classes
 	cs.PerClass = make([]ClassStats, len(classes))
@@ -826,6 +958,7 @@ func (c *Cluster) Stats() ClusterStats {
 			cs.PerClass[k].Submitted += pc.Submitted
 			cs.PerClass[k].Completed += pc.Completed
 			cs.PerClass[k].Failed += pc.Failed
+			cs.PerClass[k].Retried += pc.Retried
 			cs.PerClass[k].DeadlineHit += pc.DeadlineHit
 			cs.PerClass[k].DeadlineMiss += pc.DeadlineMiss
 			cs.PerClass[k].Batches += pc.Batches
@@ -874,5 +1007,10 @@ func (c *Cluster) SimulatedSeconds() float64 {
 func (c *Cluster) ResetSimClocks() {
 	for _, sh := range c.all() {
 		sh.sched.ResetClocks()
+	}
+	// Pooled standbys reset too: one built during warm-up must not
+	// carry clock skew into the measured window it is promoted into.
+	if c.sup != nil {
+		c.sup.resetClocks()
 	}
 }

@@ -77,6 +77,20 @@ func (fp *FaultPlane) DropHops(i int, hops int64) {
 	}
 }
 
+// FailHops loses shard i's next hops network crossings outright: each
+// faulted submission surfaces gpu.ErrLinkFault to the job instead of
+// retransmitting, and the shard is marked sick for as many probes.
+// Under a retry policy (Config.Retry / Job.Retries) the affected jobs
+// re-execute and still produce bit-identical results; without one the
+// fault propagates to the caller. The only fault class that needs the
+// retry plane to stay invisible.
+func (fp *FaultPlane) FailHops(i int, hops int64) {
+	if dev := fp.shardDevice(i); dev != nil && hops > 0 {
+		dev.InjectLinkFault(hops)
+		fp.c.all()[i].sick.Add(hops)
+	}
+}
+
 // CorruptHealth makes shard i's next n health probes report the shard
 // as sick even though it executes fine — the router stops picking it
 // until the budget drains (or ignores the probes entirely when every

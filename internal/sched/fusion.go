@@ -36,7 +36,7 @@ func evalChainFusedOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.Gal
 				}
 			}
 			vals = nil
-			err = fmt.Errorf("sched: fused batch op %d (%v) panicked: %v", stage, jobs[0].Ops[stage].Code, r)
+			err = wrapPanic(fmt.Sprintf("fused batch op %d (%v)", stage, jobs[0].Ops[stage].Code), r)
 		}
 	}()
 	k := len(jobs)

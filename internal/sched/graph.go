@@ -119,6 +119,7 @@ func (f *Future) releaseRefLocked() {
 	for _, b := range r.ct.Buffers() {
 		cache.Unpin(b)
 	}
+	r.owner.untrackResident(f)
 }
 
 // materializeLocked returns the job's host-side result, downloading the
@@ -150,11 +151,24 @@ func (s *Scheduler) settleOutput(w *worker, sj *staged) (needDL bool) {
 	f := sj.t.fut
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.settled = true
 	if sj.err != nil {
+		if s.retryEligible(sj.t, sj.err) {
+			// Transient failure with retry budget left: leave the future
+			// UNSETTLED — consumers registered on it keep waiting for the
+			// re-execution — and mark the staged job so the completion
+			// path offers the task to the cluster's retry plane instead
+			// of finishing it. This is the only place the retry decision
+			// can be made: once f.settled/f.err publish, a late retry
+			// would leak the failure to consumers. Failures after
+			// settlement (a D2H download fault) are final.
+			sj.retry = true
+			return false
+		}
+		f.settled = true
 		f.err = sj.err
 		return false
 	}
+	f.settled = true
 	if f.consumers > 0 {
 		out := sj.vals[len(sj.vals)-1]
 		cache := s.backend.Cache()
@@ -169,6 +183,7 @@ func (s *Scheduler) settleOutput(w *worker, sj *staged) (needDL bool) {
 		}
 		sj.vals[len(sj.vals)-1] = nil
 		sj.out = out
+		s.trackResident(f)
 	}
 	return f.keep || f.consumers == 0
 }
@@ -371,7 +386,7 @@ func (s *Scheduler) downloadResident(r *residentOutput) (out *ckks.Ciphertext, e
 	defer s.matMu.Unlock()
 	defer func() {
 		if rec := recover(); rec != nil {
-			err = fmt.Errorf("sched: resident output download panicked: %v", rec)
+			err = wrapPanic("resident output download", rec)
 		}
 	}()
 	if s.matCtx == nil {

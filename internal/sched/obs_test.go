@@ -147,6 +147,7 @@ func TestClusterStatsMerge(t *testing.T) {
 	s0.statMu.Lock()
 	s0.stats.MaxBatch = 3
 	s0.classStat[0].MaxBatch = 3
+	s0.classStat[0].Retried = 4
 	for i := 0; i < 50; i++ {
 		s0.latency[0].add(1.0)
 	}
@@ -154,10 +155,17 @@ func TestClusterStatsMerge(t *testing.T) {
 	s1.statMu.Lock()
 	s1.stats.MaxBatch = 5
 	s1.classStat[0].MaxBatch = 5
+	s1.classStat[0].Retried = 3
 	for i := 0; i < 50; i++ {
 		s1.latency[0].add(3.0)
 	}
 	s1.statMu.Unlock()
+	// The recovery-plane counters live on the cluster itself and flow
+	// into the snapshot (and the metrics registry) verbatim.
+	c.standbyCnt.Add(2)
+	c.drainedCnt.Add(6)
+	c.migratedCnt.Add(5)
+	c.retryCnt.Add(7)
 
 	st := c.Stats()
 	if st.MaxBatch != 5 {
@@ -173,6 +181,23 @@ func TestClusterStatsMerge(t *testing.T) {
 	}
 	if st.PerClass[0].P99 != 3.0 {
 		t.Errorf("merged P99 = %g, want 3.0 (union quantile, not per-shard average)", st.PerClass[0].P99)
+	}
+	if st.PerClass[0].Retried != 7 {
+		t.Errorf("merged per-class Retried = %d, want 4+3=7 (a sum, not a max)", st.PerClass[0].Retried)
+	}
+	if st.StandbyPromoted != 2 || st.Drained != 6 || st.Migrated != 5 || st.RetryAttempts != 7 {
+		t.Errorf("recovery counters = (promoted %d, drained %d, migrated %d, retries %d), want (2, 6, 5, 7)",
+			st.StandbyPromoted, st.Drained, st.Migrated, st.RetryAttempts)
+	}
+	for name, want := range map[string]float64{
+		"cluster.standby_promotions": 2,
+		"cluster.drained_jobs":       6,
+		"cluster.migrated_residents": 5,
+		"cluster.retry_attempts":     7,
+	} {
+		if in, ok := c.Metrics().Get(name); !ok || in.Value != want {
+			t.Errorf("metrics instrument %s = %+v ok=%v, want value %g", name, in, ok, want)
+		}
 	}
 }
 

@@ -1,0 +1,286 @@
+package sched
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"xehe/internal/gpu"
+)
+
+// DefaultRetryBackoff is the base retry backoff in simulated seconds
+// when a policy enables retries without choosing one. It doubles per
+// attempt, so attempt n of a job is priced n doublings late on the
+// simulated timeline.
+const DefaultRetryBackoff = 50e-6
+
+// retryParkRounds bounds how many retry-loop rounds a task may wait
+// for an open shard to appear (the supervisor replacing killed
+// capacity) before it fails with its original error. Rounds tick on
+// the host wall-clock at the steal interval, so the bound is tens of
+// milliseconds — far beyond any replacement path — while guaranteeing
+// a cluster that never heals still terminates every job.
+const retryParkRounds = 256
+
+// RetryPolicy is the per-job retry budget applied by a Scheduler or
+// Cluster (Config.Retry): transiently failed jobs — a dropped network
+// hop (gpu.ErrLinkFault), a shard lost while its replacement spins up
+// (ErrShardLost) — re-execute on an open shard instead of surfacing
+// the error, with exponential backoff priced on the simulated clock
+// and charged against the job's latency and QoS deadline. Retries are
+// deadline-aware: a retry that could not start before the job's
+// deadline is not attempted, and the caller sees the original error.
+// The zero value disables retries. Job.Retries overrides the budget
+// per job.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of execution attempts a job may
+	// consume, first run included; <= 1 disables retries by policy.
+	MaxAttempts int
+	// Backoff is the base backoff in simulated seconds before the
+	// first retry, doubling per subsequent attempt. <= 0 selects
+	// DefaultRetryBackoff.
+	Backoff float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Backoff <= 0 {
+		p.Backoff = DefaultRetryBackoff
+	}
+	return p
+}
+
+// backoff prices retry number attempt (0-based): base * 2^attempt.
+func (p RetryPolicy) backoff(attempt int) float64 {
+	return p.Backoff * math.Pow(2, float64(attempt))
+}
+
+// budgetFor resolves a job's retry allowance (attempts beyond the
+// first): Job.Retries wins when set, the policy's MaxAttempts applies
+// otherwise.
+func (p RetryPolicy) budgetFor(job *Job) int {
+	if job.Retries != 0 {
+		if job.Retries < 0 {
+			return 0
+		}
+		return job.Retries
+	}
+	if p.MaxAttempts <= 1 {
+		return 0
+	}
+	return p.MaxAttempts - 1
+}
+
+// retryable classifies an execution error as transient: a dropped
+// network crossing (the hop may succeed elsewhere or later) or a shard
+// lost mid-flight (the supervisor may be replacing it). Anything else
+// — a malformed chain, a genuine kernel fault — is deterministic and
+// would fail identically on every attempt.
+func retryable(err error) bool {
+	return errors.Is(err, gpu.ErrLinkFault) || errors.Is(err, ErrShardLost)
+}
+
+// retryEligible decides — under the future's lock, before settlement —
+// whether a failed task should be offered to the cluster's retry plane
+// instead of finishing: a retry hook must exist, budget must remain,
+// the error must be transient, and the retry must be able to start
+// before the job's deadline on the simulated clock.
+func (s *Scheduler) retryEligible(t *task, err error) bool {
+	if s.retryHook == nil || t.attempt >= t.budget || !retryable(err) {
+		return false
+	}
+	if !math.IsInf(t.deadline, 1) &&
+		s.backend.SimulatedSeconds()+s.cfg.Retry.backoff(t.attempt) > t.deadline {
+		return false
+	}
+	return true
+}
+
+// tryRetry offers a failed task (absolute stamps) to the owning
+// cluster's retry plane. True means the cluster took it: the future
+// stays pending, dependency references travel with the task for the
+// re-execution, and outstanding accounting stays with this scheduler
+// until the re-injection transfers it — exactly like a surrender.
+func (s *Scheduler) tryRetry(t *task, err error) bool {
+	return s.retryHook != nil && s.retryHook(t, err)
+}
+
+// retryEntry is one task parked in the cluster's retry plane: relative
+// stamps (elapsed wait / remaining deadline budget, backoff already
+// priced in), with outstanding accounting still held by src until the
+// re-injection lands.
+type retryEntry struct {
+	t      *task
+	src    *shard
+	parked int // rounds spent waiting for an open shard
+}
+
+// offerRetry is the scheduler retry hook (installFaultHooks): it
+// converts the task's stamps to relative form on src's clock and
+// queues it for re-injection. False means the retry plane declined
+// (budget, deadline, error class, or the cluster shutting down) and
+// the stamps are restored for the normal failure path.
+func (c *Cluster) offerRetry(src *shard, t *task, err error) bool {
+	now := src.sched.backend.SimulatedSeconds()
+	t.enq = now - t.enq // elapsed wait
+	if !math.IsInf(t.deadline, 1) {
+		t.deadline -= now // remaining budget
+	}
+	if c.queueRetry(src, t, err) {
+		return true
+	}
+	t.enq = now - t.enq // restore absolute stamps
+	if !math.IsInf(t.deadline, 1) {
+		t.deadline += now
+	}
+	return false
+}
+
+// queueRetry parks one task (relative stamps) in the retry plane,
+// consuming an attempt and pricing its exponential backoff into the
+// stamps: the elapsed wait grows by the backoff (the re-run's latency
+// accounting includes it) and the remaining deadline budget shrinks.
+// False declines the retry: no budget, non-transient error, a backoff
+// that overshoots the deadline, or a cluster already draining its
+// retry plane for Close.
+func (c *Cluster) queueRetry(src *shard, t *task, err error) bool {
+	if t.attempt >= t.budget || !retryable(err) {
+		return false
+	}
+	back := c.cfg.Retry.backoff(t.attempt)
+	if !math.IsInf(t.deadline, 1) && t.deadline < back {
+		return false // the retry could not start before the deadline
+	}
+	c.retryMu.Lock()
+	if c.retryStopped {
+		c.retryMu.Unlock()
+		return false
+	}
+	t.attempt++
+	t.retryErr = err
+	t.enq += back
+	if !math.IsInf(t.deadline, 1) {
+		t.deadline -= back
+	}
+	c.retryQ = append(c.retryQ, retryEntry{t: t, src: src})
+	if !c.retryLoopUp {
+		c.retryLoopUp = true
+		c.retryWg.Add(1)
+		go c.retryLoop()
+	}
+	c.retryMu.Unlock()
+	c.retryCnt.Add(1)
+	src.sched.statMu.Lock()
+	src.sched.classStat[t.class].Retried++
+	src.sched.statMu.Unlock()
+	return true
+}
+
+// retryLoop re-injects parked tasks. It starts lazily with the first
+// queued retry and runs until Close drains the plane; the host-clock
+// ticker matches the steal monitor (jobs take orders of magnitude
+// longer than a tick, and the simulated backoff is priced into the
+// stamps rather than slept out).
+func (c *Cluster) retryLoop() {
+	defer c.retryWg.Done()
+	tick := time.NewTicker(defaultStealInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stopRetry:
+			return
+		case <-tick.C:
+		}
+		c.retryRound()
+	}
+}
+
+// retryRound drains the parked tasks once: each lands on the
+// least-loaded open shard (possibly its own src — a transient link
+// fault does not disqualify the shard). With no open shard the entry
+// waits for the supervisor's replacement, up to retryParkRounds; a
+// cluster that never heals fails the job with its original error.
+func (c *Cluster) retryRound() {
+	c.retryMu.Lock()
+	pending := c.retryQ
+	c.retryQ = nil
+	c.retryMu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	var requeue []retryEntry
+	c.stealMu.Lock()
+	for _, e := range pending {
+		if c.injectRetryLocked(e) {
+			continue
+		}
+		if e.parked++; e.parked > retryParkRounds {
+			e.src.sched.failSurrenderedErr([]*task{e.t}, nil)
+			continue
+		}
+		requeue = append(requeue, e)
+	}
+	c.stealMu.Unlock()
+	if len(requeue) == 0 {
+		return
+	}
+	c.retryMu.Lock()
+	stopped := c.retryStopped
+	if !stopped {
+		c.retryQ = append(c.retryQ, requeue...)
+	}
+	c.retryMu.Unlock()
+	if stopped {
+		// Close drained the plane while this round held the entries;
+		// terminate them here (stopRetries cannot see them).
+		for _, e := range requeue {
+			e.src.sched.failSurrenderedErr([]*task{e.t}, nil)
+		}
+	}
+}
+
+// injectRetryLocked lands one parked task on the least-loaded open
+// shard, transferring its outstanding accounting from src. Caller
+// holds stealMu; false when no open shard remains.
+func (c *Cluster) injectRetryLocked(e retryEntry) bool {
+	for {
+		shards := c.all()
+		var dst *shard
+		var dstLoad int64
+		for _, other := range shards {
+			if other.closed.Load() {
+				continue
+			}
+			if load := other.sched.Outstanding(); dst == nil || load < dstLoad {
+				dst, dstLoad = other, load
+			}
+		}
+		if dst == nil {
+			return false
+		}
+		if dst.sched.injectTasks([]*task{e.t}) {
+			dst.stolen.Add(1)
+			e.src.sched.outstandingAdd(-1, -e.t.work())
+			return true
+		}
+		// dst was killed between the scan and the inject; rescan.
+	}
+}
+
+// stopRetries shuts the retry plane down for Close: no new entries are
+// accepted, the loop exits, and every still-parked task fails with its
+// original error — never a wedge.
+func (c *Cluster) stopRetries() {
+	c.retryMu.Lock()
+	c.retryStopped = true
+	leftover := c.retryQ
+	c.retryQ = nil
+	up := c.retryLoopUp
+	c.retryMu.Unlock()
+	if up {
+		close(c.stopRetry)
+		c.retryWg.Wait()
+	}
+	for _, e := range leftover {
+		e.src.sched.failSurrenderedErr([]*task{e.t}, nil)
+	}
+}

@@ -131,10 +131,31 @@ type Config struct {
 	// ignored: tile parallelism comes from the worker pool itself.
 	Core core.Config
 
+	// SelfHeal (cluster only) runs the supervisor control loop: killed
+	// shards are auto-replaced — instantly from the warm standby pool
+	// when one is available, otherwise by a rate-limited cold rebuild of
+	// the dead shard's backend with exponential backoff between
+	// attempts. Default off; a no-op for a standalone Scheduler.
+	SelfHeal Toggle
+	// Standbys (cluster only) is the size of the warm standby pool the
+	// supervisor maintains: pre-built shards (device constructed, cache
+	// pre-warmed) that promotion swaps into rotation the moment a shard
+	// is killed, skipping the cold construction a reactive AddShard
+	// would pay. 0 disables the pool; ignored unless SelfHeal is on.
+	Standbys int
+	// Retry is the default per-job retry budget (Job.Retries overrides
+	// it per job): transiently failed jobs — a dropped network hop, a
+	// shard lost mid-replacement — re-execute on an open shard with
+	// exponential backoff priced on the simulated clock, instead of
+	// surfacing the error to the caller. The zero value disables
+	// retries.
+	Retry RetryPolicy
+
 	// Resolved toggles (withDefaults): the hot paths branch on these.
 	fuseKernels   bool
 	fuseTransfers bool
 	trace         bool
+	selfHeal      bool
 }
 
 func (c Config) withDefaults(tiles int) Config {
@@ -144,6 +165,11 @@ func (c Config) withDefaults(tiles int) Config {
 	c.fuseKernels = c.FuseKernels.or(true)
 	c.fuseTransfers = c.FuseTransfers.or(true)
 	c.trace = c.Trace.Enabled.or(false)
+	c.selfHeal = c.SelfHeal.or(false)
+	if c.Standbys < 0 {
+		c.Standbys = 0
+	}
+	c.Retry = c.Retry.withDefaults()
 	if c.Trace.SpanCap <= 0 {
 		c.Trace.SpanCap = 8192
 	}
@@ -180,6 +206,7 @@ type ClassStats struct {
 	Completed                 int64 // jobs finished (including failed)
 	Failed                    int64 // jobs that finished with an error
 	Rejected                  int64 // jobs shed with ErrOverloaded
+	Retried                   int64 // retry attempts consumed by this class's jobs
 	DeadlineHit, DeadlineMiss int64 // jobs with a deadline, by outcome
 	// Batches, MaxBatch and Coalesced break the coalescing counters
 	// down per class (batches are formed from a single class's queue,
@@ -302,6 +329,16 @@ type task struct {
 	deps   []depRes
 	waitN  int
 	depErr error
+
+	// Retry state: budget is the job's resolved retry allowance
+	// (attempts beyond the first execution), attempt the retries
+	// consumed so far, retryErr the error of the latest failed attempt
+	// (the one the caller sees if the budget runs out). Written by the
+	// single goroutine that owns the task at each point of its life
+	// (worker, retry loop, migration), never concurrently.
+	budget   int
+	attempt  int
+	retryErr error
 }
 
 // work is the routing cost estimate of the task's job: uploads plus
@@ -419,6 +456,19 @@ type Scheduler struct {
 	killed    atomic.Bool
 	surrender func([]*task)
 	onBatch   func()
+	// retryHook offers a transiently failed task (absolute stamps) to
+	// the owning cluster's retry plane; true means the cluster took it
+	// and the future stays pending. nil outside a cluster (standalone
+	// schedulers fail the job immediately — there is nowhere else to
+	// run it).
+	retryHook func(*task, error) bool
+
+	// resMu guards residents, the live device-resident outputs this
+	// scheduler owns (settleOutput registers, releaseRefLocked and
+	// DrainShard's migration deregister). Leaf lock: acquired with
+	// f.mu held, takes nothing itself.
+	resMu     sync.Mutex
+	residents map[*Future]struct{}
 }
 
 type worker struct {
@@ -575,6 +625,7 @@ func (s *Scheduler) Submit(job *Job) (*Future, error) {
 	}
 	class := int(job.Class)
 	t := &task{job: job, fut: newFuture(), class: class}
+	t.budget = s.cfg.Retry.budgetFor(job)
 	adm := s.spanBegin()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -1075,13 +1126,15 @@ func (s *Scheduler) injectTasks(ts []*task) bool {
 
 // installFaultHooks wires the scheduler to its owning cluster's fault
 // plane: surrender re-homes tasks a killed worker hands back, onBatch
-// is the fault plane's deterministic mid-batch kill point. Called once
-// at shard construction, before the scheduler is visible to
+// is the fault plane's deterministic mid-batch kill point, and retry
+// offers transiently failed tasks to the cluster's retry plane. Called
+// once at shard construction, before the scheduler is visible to
 // submitters; the hooks are read only from worker goroutines that
 // received work through the usual synchronized channels.
-func (s *Scheduler) installFaultHooks(surrender func([]*task), onBatch func()) {
+func (s *Scheduler) installFaultHooks(surrender func([]*task), onBatch func(), retry func(*task, error) bool) {
 	s.surrender = surrender
 	s.onBatch = onBatch
+	s.retryHook = retry
 }
 
 // kill flips the scheduler into fail-stop surrender mode: new work is
@@ -1150,13 +1203,29 @@ func (s *Scheduler) surrenderTasks(ts []*task) {
 // no healthy shard remained to replay them, restoring absolute stamps
 // for the failure accounting.
 func (s *Scheduler) failSurrendered(ts []*task) {
+	s.failSurrenderedErr(ts, nil)
+}
+
+// failSurrenderedErr is failSurrendered with a per-task error override:
+// a retry-plane task whose budget ran out fails with its own last
+// execution error (the one the caller would have seen without retries)
+// instead of the generic ErrShardLost. A nil fallback and nil task
+// errors select ErrShardLost.
+func (s *Scheduler) failSurrenderedErr(ts []*task, fallback error) {
 	now := s.backend.SimulatedSeconds()
 	for _, t := range ts {
 		t.enq = now - t.enq
 		if !math.IsInf(t.deadline, 1) {
 			t.deadline += now
 		}
-		s.failTask(t, ErrShardLost)
+		err := t.retryErr
+		if err == nil {
+			err = fallback
+		}
+		if err == nil {
+			err = ErrShardLost
+		}
+		s.failTask(t, err)
 	}
 }
 
@@ -1169,6 +1238,23 @@ type staged struct {
 	vals []*core.Ciphertext // inputs + intermediates, in value-list order
 	out  *core.Ciphertext   // result retained device-resident, if any
 	err  error
+	// retry marks a failed job whose error settleOutput judged
+	// transient with budget remaining: the future was left unsettled
+	// and the completion path offers the task to the cluster's retry
+	// plane instead of finishing it.
+	retry bool
+}
+
+// wrapPanic formats a recovered panic value as a job error. Panics
+// that carry an error — the gpu link fault plane panics with a wrapped
+// gpu.ErrLinkFault — keep their chain (%w), so errors.Is sees through
+// the worker's recover and the retry plane can classify the failure as
+// transient.
+func wrapPanic(what string, r interface{}) error {
+	if err, ok := r.(error); ok {
+		return fmt.Errorf("sched: %s panicked: %w", what, err)
+	}
+	return fmt.Errorf("sched: %s panicked: %v", what, r)
 }
 
 // result returns the job's output ciphertext (the last value, or the
@@ -1363,7 +1449,7 @@ func (w *worker) uploadBatch(s *Scheduler, batch []*task) (ub *uploadedBatch) {
 				}
 			}
 			ub.ins = nil
-			ub.err = fmt.Errorf("sched: batch input upload panicked: %v", r)
+			ub.err = wrapPanic("batch input upload", r)
 		}
 	}()
 	var hosts []*ckks.Ciphertext
@@ -1470,7 +1556,7 @@ func (w *worker) submitBatchDownload(s *Scheduler, class int, stagedJobs []*stag
 				if r := recover(); r != nil {
 					for i, sj := range stagedJobs {
 						if results[i] != nil && sj.err == nil {
-							sj.err = fmt.Errorf("sched: batch download panicked: %v", r)
+							sj.err = wrapPanic("batch download", r)
 						}
 					}
 				}
@@ -1506,13 +1592,25 @@ func (w *worker) resolveBatch(s *Scheduler, pb *pendingBatch) {
 		s.met.stallCopyNS.Add(int64(d * 1e9))
 	}
 	st := s.spanBegin()
+	// Settle-span labels, captured before the loop: once tryRetry hands
+	// a task to the retry plane, its re-dispatch may rewrite bid/disp
+	// concurrently.
+	class, bid := pb.staged[0].t.class, pb.staged[0].t.bid
 	for _, sj := range pb.staged {
+		if sj.retry && s.tryRetry(sj.t, sj.err) {
+			// The cluster's retry plane owns the task now: the future
+			// stays pending, dependency references travel with the task
+			// for the re-execution, and outstanding accounting stays here
+			// until the re-injection transfers it (like a surrender).
+			w.pending.Add(-1)
+			continue
+		}
 		s.releaseDeps(sj.t)
 		sj.t.fut.finish(sj.err)
 		w.pending.Add(-1)
 		s.jobDone(w, sj.t, sj.err != nil, len(pb.staged), pb.done)
 	}
-	s.spanEnd(w.ring, st, w.track, "settle", catSettle, s.className(pb.staged[0].t.class), pb.staged[0].t.bid, len(pb.staged))
+	s.spanEnd(w.ring, st, w.track, "settle", catSettle, s.className(class), bid, len(pb.staged))
 }
 
 // transferDone accounts one gathered transfer submission against the
@@ -1557,7 +1655,7 @@ func (s *Scheduler) stepsDone(batch []*task, fused bool) {
 func evalChain(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKey, job *Job) (vals []*core.Ciphertext, err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("sched: job input upload panicked: %v", r)
+			err = wrapPanic("job input upload", r)
 		}
 	}()
 	for _, in := range job.Inputs {
@@ -1577,7 +1675,7 @@ func evalChainOn(c *core.Context, rlk *ckks.RelinKey, gks map[int]*ckks.GaloisKe
 	stage := 0
 	defer func() {
 		if r := recover(); r != nil {
-			err = fmt.Errorf("sched: job op %d (%v) panicked: %v", stage, job.Ops[stage].Code, r)
+			err = wrapPanic(fmt.Sprintf("job op %d (%v)", stage, job.Ops[stage].Code), r)
 		}
 	}()
 	for i, op := range job.Ops {
@@ -1622,7 +1720,7 @@ func (w *worker) stageIns(t *task) (ins []*core.Ciphertext, err error) {
 				}
 			}
 			ins = nil
-			err = fmt.Errorf("sched: job input upload panicked: %v", r)
+			err = wrapPanic("job input upload", r)
 		}
 	}()
 	for _, in := range t.job.Inputs {
@@ -1711,23 +1809,30 @@ func (w *worker) finishBatch(s *Scheduler, stagedJobs []*staged) {
 	if d := done - before; d > 0 {
 		s.met.stallCopyNS.Add(int64(d * 1e9))
 	}
-	s.spanEnd(w.ring, d2h, w.track, "d2h", catXfer, s.className(stagedJobs[0].t.class), stagedJobs[0].t.bid, len(stagedJobs))
+	class, bid := stagedJobs[0].t.class, stagedJobs[0].t.bid
+	s.spanEnd(w.ring, d2h, w.track, "d2h", catXfer, s.className(class), bid, len(stagedJobs))
 	st := s.spanBegin()
 	for _, sj := range stagedJobs {
 		w.freeAll(sj)
+		if sj.retry && s.tryRetry(sj.t, sj.err) {
+			// Retry plane owns the task; see resolveBatch. Span labels
+			// were captured above: re-dispatch may rewrite bid.
+			w.pending.Add(-1)
+			continue
+		}
 		s.releaseDeps(sj.t)
 		sj.t.fut.finish(sj.err)
 		w.pending.Add(-1)
 		s.jobDone(w, sj.t, sj.err != nil, len(stagedJobs), done)
 	}
-	s.spanEnd(w.ring, st, w.track, "settle", catSettle, s.className(stagedJobs[0].t.class), stagedJobs[0].t.bid, len(stagedJobs))
+	s.spanEnd(w.ring, st, w.track, "settle", catSettle, s.className(class), bid, len(stagedJobs))
 }
 
 // submitDownload submits one job's result copies without waiting.
 func (w *worker) submitDownload(sj *staged) (ev gpu.Event, ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			sj.err = fmt.Errorf("sched: job download panicked: %v", r)
+			sj.err = wrapPanic("job download", r)
 			ok = false
 		}
 	}()

@@ -1,0 +1,577 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"xehe/internal/gpu"
+)
+
+// selfHealCluster builds a rebuildable heterogeneous cluster (the
+// NewCluster device path carries Rebuild closures) with the supervisor
+// enabled and the given standby pool.
+func selfHealCluster(t testing.TB, h *Harness, standbys int, devs ...*gpu.Device) *Cluster {
+	t.Helper()
+	cfg := schedConfig(2)
+	cfg.SelfHeal = ToggleOn
+	cfg.Standbys = standbys
+	c := NewCluster(h.Params, devs, cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+	return c
+}
+
+// TestSelfHealStandbyPromotion is the supervisor's differential
+// acceptance test: a mid-run kill on a cluster with one warm standby
+// is absorbed by an instant promotion — the standby enters the routing
+// tables before the dead shard's backlog evacuates — so every job
+// completes bit-identically to the serial path, with zero failures and
+// exactly one promotion counted. Run with -race (make test-race).
+func TestSelfHealStandbyPromotion(t *testing.T) {
+	h := sharedHarness(t)
+	c := selfHealCluster(t, h, 1, gpu.NewDevice1(), gpu.NewDevice1(), gpu.NewDevice2())
+
+	rng := rand.New(rand.NewSource(9001))
+	const (
+		nJobs      = 24
+		submitters = 3
+	)
+	cases := make([]*Case, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 4)
+	}
+	// Shard 0 dies deterministically when its second batch starts; the
+	// promotion happens synchronously inside the kill, so the evacuated
+	// backlog already sees the replacement capacity.
+	c.Faults().KillShardAfter(0, 2)
+
+	futs := make([]*Future, nJobs)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < nJobs; i += submitters {
+				fut, err := c.Submit(cases[i].Job)
+				if err != nil {
+					t.Errorf("job %d: submit: %v", i, err)
+					return
+				}
+				futs[i] = fut
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("submission failed")
+	}
+	mustFinish(t, "Drain", c.Drain)
+
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v (with a standby stocked, a kill must be invisible)", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: self-healed result diverges from serial path: %v", i, err)
+		}
+	}
+
+	st := c.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d jobs failed under self-heal", st.Failed)
+	}
+	if st.Killed != 1 {
+		t.Fatalf("Killed = %d, want 1", st.Killed)
+	}
+	if st.StandbyPromoted != 1 {
+		t.Fatalf("StandbyPromoted = %d, want 1 (the stocked standby must absorb the kill)", st.StandbyPromoted)
+	}
+	if got := c.Faults().Health(0); got != "killed" {
+		t.Fatalf("dead shard health = %q, want killed", got)
+	}
+	// The promoted shard is the last published one and must be serving.
+	if got := c.Faults().Health(c.Shards() - 1); got != "ok" {
+		t.Fatalf("promoted standby health = %q, want ok", got)
+	}
+}
+
+// TestSelfHealColdReplacement pins the supervisor's cold-repair path:
+// with no standby stocked, a killed shard is rebuilt from its spec —
+// same device kind, same failure domain — within the backoff window,
+// and traffic submitted after the repair lands on it. The watch loop
+// runs on the host wall clock, so the test polls for the replacement.
+func TestSelfHealColdReplacement(t *testing.T) {
+	h := sharedHarness(t)
+	c := selfHealCluster(t, h, 0, gpu.NewDevice1(), gpu.NewDevice1())
+
+	if !c.Faults().KillShard(0) {
+		t.Fatal("KillShard(0) returned false")
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for c.Shards() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("supervisor did not cold-replace the killed shard (shards = %d)", c.Shards())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	repl := c.all()[2]
+	if repl.node != c.all()[0].node {
+		t.Errorf("replacement node = %d, want the dead shard's domain %d", repl.node, c.all()[0].node)
+	}
+	if got := c.Faults().Health(2); got != "ok" {
+		t.Fatalf("replacement health = %q, want ok", got)
+	}
+
+	rng := rand.New(rand.NewSource(9002))
+	const nJobs = 8
+	cases := make([]*Case, nJobs)
+	futs := make([]*Future, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 4)
+		fut, err := c.Submit(cases[i].Job)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	mustFinish(t, "Drain", c.Drain)
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: post-repair result diverges: %v", i, err)
+		}
+	}
+	if st := c.Stats(); st.Added < 1 {
+		t.Fatalf("Added = %d, want >= 1 (the cold repair publishes a shard)", st.Added)
+	}
+}
+
+// TestRetryLinkFaultDifferential pins the retry plane's correctness
+// half: remote shards whose links lose submissions outright
+// (FailHops — real data loss, not a timing fault) stay invisible to
+// callers under a retry budget. Every job completes bit-identically to
+// the serial path, and the retry counter proves faults were absorbed
+// rather than dodged.
+func TestRetryLinkFaultDifferential(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(2)
+	cfg.Retry = RetryPolicy{MaxAttempts: 4}
+	link := NetLink{LatencySeconds: 3e-6, GBps: 8}
+	specs := []ShardSpec{
+		{Backend: NewRemoteBackend(gpu.NewDevice1(), cfg.Core.MemCache, 0, link), Node: 0},
+		{Backend: NewRemoteBackend(gpu.NewDevice1(), cfg.Core.MemCache, 1, link), Node: 1},
+	}
+	c := NewClusterShards(h.Params, specs, cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+
+	rng := rand.New(rand.NewSource(777))
+	const nJobs = 16
+	cases := make([]*Case, nJobs)
+	futs := make([]*Future, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 4)
+	}
+	for i, cs := range cases {
+		if i == nJobs/4 {
+			c.Faults().FailHops(0, 2)
+		}
+		if i == nJobs/2 {
+			c.Faults().FailHops(1, 2)
+		}
+		fut, err := c.Submit(cs.Job)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	mustFinish(t, "Drain", c.Drain)
+
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v (link faults within budget must be retried, not surfaced)", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: retried result diverges from serial path: %v", i, err)
+		}
+	}
+
+	var faulted int64
+	for _, sh := range c.all() {
+		faulted += sh.sched.Backend().(*RemoteBackend).LinkStats().Faulted
+	}
+	if faulted == 0 {
+		t.Fatal("no link fault was consumed — the retry path was not exercised")
+	}
+	st := c.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d jobs failed despite retry budget", st.Failed)
+	}
+	if st.RetryAttempts < 1 {
+		t.Fatalf("RetryAttempts = %d, want >= 1", st.RetryAttempts)
+	}
+	var retried int64
+	for _, pc := range st.PerClass {
+		retried += pc.Retried
+	}
+	if retried != st.RetryAttempts {
+		t.Fatalf("per-class Retried sum = %d, cluster RetryAttempts = %d — counters diverge", retried, st.RetryAttempts)
+	}
+}
+
+// TestRetryExhaustionSurfacesOriginalError pins the budget's edge: a
+// link that faults every crossing defeats any finite budget, so the
+// job must fail with the original gpu.ErrLinkFault — never a wedge,
+// never a masked error — and the attempts must still be counted.
+func TestRetryExhaustionSurfacesOriginalError(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(1)
+	cfg.Retry = RetryPolicy{MaxAttempts: 3}
+	link := NetLink{LatencySeconds: 3e-6, GBps: 8}
+	specs := []ShardSpec{
+		{Backend: NewRemoteBackend(gpu.NewDevice1(), cfg.Core.MemCache, 0, link), Node: 0},
+	}
+	c := NewClusterShards(h.Params, specs, cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+
+	// Far more faults than any attempt could consume: every submission
+	// on this shard is lost, on the first run and on every retry.
+	c.Faults().FailHops(0, 1<<20)
+
+	vals := make([]complex128, h.Params.Slots())
+	job := NewJob(h.Encrypt(vals))
+	job.SquareRelinRescale(0)
+	fut, err := c.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFinish(t, "Drain", c.Drain)
+	if _, err := fut.Wait(); !errors.Is(err, gpu.ErrLinkFault) {
+		t.Fatalf("Wait = %v, want the original gpu.ErrLinkFault after budget exhaustion", err)
+	}
+	st := c.Stats()
+	if st.Failed != 1 {
+		t.Fatalf("Failed = %d, want 1", st.Failed)
+	}
+	if st.RetryAttempts < 1 {
+		t.Fatalf("RetryAttempts = %d, want >= 1 (the budget must have been spent, not skipped)", st.RetryAttempts)
+	}
+	mustFinish(t, "Close", c.Close)
+}
+
+// TestDrainShardNoReplay pins the graceful-retirement contract:
+// draining a shard under load re-routes its queued backlog without
+// replay — in-flight batches settle in place, queued jobs move as-is —
+// so every job completes bit-identically with Replayed exactly zero
+// (the counter that separates a drain from a fail-stop).
+func TestDrainShardNoReplay(t *testing.T) {
+	h := sharedHarness(t)
+	// A deliberately narrow pipeline (one worker, single-job batches,
+	// queue depth 1) so most of each shard's share is still in the
+	// pending queue when the drain hits — the hand-off path, not just
+	// the settle-in-place path, is exercised.
+	cfg := schedConfig(1)
+	cfg.QueueDepth = 1
+	cfg.MaxBatch = 1
+	cfg.PendingCap = 64
+	c := NewCluster(h.Params, []*gpu.Device{gpu.NewDevice1(), gpu.NewDevice1()},
+		cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+
+	// One long op chain per shard occupies each single worker for a
+	// while (the kernels compute for real on the host), so the light
+	// jobs submitted behind them are still pending when the drain hits.
+	rng := rand.New(rand.NewSource(6001))
+	vals := make([]complex128, h.Params.Slots())
+	heavies := make([]*Job, 2)
+	for i := range heavies {
+		heavies[i] = NewJob(h.Encrypt(vals))
+		r := heavies[i].Add(0, 0)
+		for k := 0; k < 15; k++ {
+			r = heavies[i].Add(r, r)
+		}
+	}
+	const nJobs = 24
+	cases := make([]*Case, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 4)
+	}
+
+	heavyFuts := make([]*Future, len(heavies))
+	for i, hj := range heavies {
+		fut, err := c.Submit(hj)
+		if err != nil {
+			t.Fatalf("heavy job %d: %v", i, err)
+		}
+		heavyFuts[i] = fut
+	}
+	futs := make([]*Future, nJobs)
+	for i := range cases {
+		fut, err := c.Submit(cases[i].Job)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		futs[i] = fut
+	}
+	// Drain while shard 0's worker is still inside its heavy batch: the
+	// queued light jobs must move through the hand-off path.
+	mustFinish(t, "DrainShard", func() { c.DrainShard(0) })
+	if got := c.Faults().Health(0); got != "closed" {
+		t.Fatalf("drained shard health = %q, want closed", got)
+	}
+	mustFinish(t, "Drain", c.Drain)
+
+	for i, fut := range heavyFuts {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("heavy job %d: %v (in-flight work must settle in place)", i, err)
+		}
+		want, err := h.RunSerial(heavies[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("heavy job %d: drained result diverges from serial path: %v", i, err)
+		}
+	}
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v (a drain must not fail jobs)", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: drained result diverges from serial path: %v", i, err)
+		}
+	}
+
+	st := c.Stats()
+	if st.Replayed != 0 {
+		t.Fatalf("Replayed = %d, want 0 — a graceful drain must never pay the replay cost", st.Replayed)
+	}
+	if st.Failed != 0 {
+		t.Fatalf("Failed = %d, want 0", st.Failed)
+	}
+	if st.Drained < 1 {
+		t.Fatalf("Drained = %d, want >= 1 (the queued backlog must move through the drain path)", st.Drained)
+	}
+	// Idempotent: a second drain of the same shard is a no-op.
+	mustFinish(t, "repeat DrainShard", func() { c.DrainShard(0) })
+}
+
+// TestDrainShardMigratesResidents pins the drain's graph half: a
+// device-resident output with a live consumer reference is pre-copied
+// to the host when its owner shard drains — counted in Migrated, pins
+// force-released — so a consumer arriving afterwards (necessarily on
+// another shard) resolves against the host copy bit-identically. The
+// consumer edge is registered white-box via onSettled, exactly what a
+// submitted consumer's registerDeps does, so the residency is
+// deterministically alive when the drain runs.
+func TestDrainShardMigratesResidents(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 1, gpu.NewDevice1())
+
+	vals := make([]complex128, h.Params.Slots())
+	for i := range vals {
+		vals[i] = complex(float64(i%7)*0.25, 0)
+	}
+	prodIn, consIn := h.Encrypt(vals), h.Encrypt(vals)
+	prod := NewJob(prodIn)
+	prod.Add(0, 0)
+	pf, err := c.Submit(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count a consumer into the residency plan before the producer
+	// settles (submission returns long before the kernels run).
+	if !pf.onSettled(func() {}) {
+		t.Fatal("producer settled before the consumer edge registered")
+	}
+	c.Drain()
+
+	if _, err := c.AddShard(ShardSpec{Backend: NewDeviceBackend(gpu.NewDevice1(), true), Node: 1}); err != nil {
+		t.Fatalf("AddShard: %v", err)
+	}
+	mustFinish(t, "DrainShard", func() { c.DrainShard(0) })
+	if n := c.all()[0].sched.Backend().Cache().PinnedCount(); n != 0 {
+		t.Fatalf("drained shard PinnedCount = %d, want 0 (migration must force-release)", n)
+	}
+	if st := c.Stats(); st.Migrated < 1 {
+		t.Fatalf("Migrated = %d, want >= 1 (the resident output must have moved to the host)", st.Migrated)
+	}
+
+	// A consumer submitted after the drain finds the residency released
+	// and falls back to the migrated host copy.
+	cons := NewJob(consIn)
+	cons.Add(0, cons.InputFrom(pf))
+	cf, err := c.Submit(cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustFinish(t, "Drain", c.Drain)
+	got, err := cf.Wait()
+	if err != nil {
+		t.Fatalf("consumer of migrated resident: %v", err)
+	}
+
+	wantProd, err := h.RunSerial(prod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotProd, err := pf.Wait()
+	if err != nil {
+		t.Fatalf("producer Wait after migration: %v", err)
+	}
+	if err := SameCiphertext(gotProd, wantProd); err != nil {
+		t.Fatalf("migrated producer output diverges: %v", err)
+	}
+	serialCons := NewJob(consIn, wantProd)
+	serialCons.Add(0, 1)
+	wantCons, err := h.RunSerial(serialCons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SameCiphertext(got, wantCons); err != nil {
+		t.Fatalf("consumer of migrated resident diverges from serial path: %v", err)
+	}
+}
+
+// TestCloseAndDrainOnKilledShardAreNoops is the idempotence regression
+// test: retiring a shard that was already fail-stopped — via CloseShard
+// or DrainShard — must be a plain no-op, not a second evacuation, a
+// double-close, or a wedge; the cluster keeps serving afterwards.
+func TestCloseAndDrainOnKilledShardAreNoops(t *testing.T) {
+	h := sharedHarness(t)
+	c := newTestCluster(t, h, 1, gpu.NewDevice1(), gpu.NewDevice1())
+
+	if !c.Faults().KillShard(0) {
+		t.Fatal("KillShard(0) returned false")
+	}
+	before := c.Stats()
+	mustFinish(t, "CloseShard on killed shard", func() { c.CloseShard(0) })
+	mustFinish(t, "DrainShard on killed shard", func() { c.DrainShard(0) })
+	after := c.Stats()
+	if got := c.Faults().Health(0); got != "killed" {
+		t.Fatalf("health after no-op retirements = %q, want killed (the kill's state must stand)", got)
+	}
+	if after.Drained != before.Drained || after.Migrated != before.Migrated {
+		t.Fatalf("no-op retirements moved counters: Drained %d->%d, Migrated %d->%d",
+			before.Drained, after.Drained, before.Migrated, after.Migrated)
+	}
+
+	vals := make([]complex128, h.Params.Slots())
+	job := NewJob(h.Encrypt(vals))
+	job.SquareRelinRescale(0)
+	fut, err := c.Submit(job)
+	if err != nil {
+		t.Fatalf("Submit after no-op retirements: %v", err)
+	}
+	mustFinish(t, "Drain", c.Drain)
+	if _, err := fut.Wait(); err != nil {
+		t.Fatalf("job after no-op retirements: %v", err)
+	}
+}
+
+// TestChaosKillUnderSelfHeal extends the chaos differential family to
+// the supervisor: the standard heterogeneous chaos topology with a
+// mid-batch kill and an explicit kill, but recovery is fully automatic
+// — one kill lands on the warm standby, the other cold-rebuilds — and
+// every result must still match the serial path bit-for-bit.
+func TestChaosKillUnderSelfHeal(t *testing.T) {
+	h := sharedHarness(t)
+	cfg := schedConfig(2)
+	cfg.SelfHeal = ToggleOn
+	cfg.Standbys = 1
+	c := NewCluster(h.Params,
+		[]*gpu.Device{gpu.NewDevice1(), gpu.NewDevice1(), gpu.NewDevice2()},
+		cfg, h.RelinKey(), h.GaloisKeys())
+	t.Cleanup(c.Close)
+	c.Faults().KillShardAfter(0, 2)
+
+	rng := rand.New(rand.NewSource(9100))
+	const (
+		nJobs      = 24
+		submitters = 3
+	)
+	cases := make([]*Case, nJobs)
+	for i := range cases {
+		cases[i] = h.RandomCase(rng, 4)
+	}
+	futs := make([]*Future, nJobs)
+	var wg sync.WaitGroup
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < nJobs; i += submitters {
+				fut, err := c.Submit(cases[i].Job)
+				if err != nil {
+					t.Errorf("job %d: submit: %v", i, err)
+					return
+				}
+				futs[i] = fut
+			}
+		}(g)
+	}
+	c.Faults().KillShard(1)
+	wg.Wait()
+	if t.Failed() {
+		t.Fatal("submission failed")
+	}
+	mustFinish(t, "Drain", c.Drain)
+
+	for i, fut := range futs {
+		got, err := fut.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v (self-heal must keep a healthy shard available)", i, err)
+		}
+		want, err := h.RunSerial(cases[i].Job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := SameCiphertext(got, want); err != nil {
+			t.Fatalf("job %d: chaos+self-heal result diverges: %v", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Failed != 0 {
+		t.Fatalf("%d jobs failed under self-heal chaos", st.Failed)
+	}
+	if st.Killed != 2 {
+		t.Fatalf("Killed = %d, want 2", st.Killed)
+	}
+	if st.StandbyPromoted < 1 {
+		t.Fatalf("StandbyPromoted = %d, want >= 1 (at least one kill must be absorbed by the warm pool)", st.StandbyPromoted)
+	}
+	for i, sh := range c.all() {
+		if sh.killed.Load() {
+			continue
+		}
+		if n := sh.sched.Backend().Cache().PinnedCount(); n != 0 {
+			t.Errorf("shard %d: PinnedCount = %d after chaos drain, want 0", i, n)
+		}
+	}
+	t.Logf("self-heal chaos: killed %d, promoted %d, added %d, recovered %d, replayed %d, retried %d",
+		st.Killed, st.StandbyPromoted, st.Added, st.Recovered, st.Replayed, st.RetryAttempts)
+}

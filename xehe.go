@@ -114,10 +114,36 @@
 //	idx, err := cl.AddShard(xehe.Device1, xehe.NodeSpec{Node: 2, LatencyUS: 5, GBps: 12})
 //	st := cl.Stats()         // st.Recovered, st.Replayed, st.Killed, st.Health
 //
+// Recovery can be automatic: ClusterConfig.SelfHeal starts a
+// supervisor that replaces killed shards on its own — instantly by
+// promoting a pre-built warm spare from the standby pool
+// (ClusterConfig.Standbys), or by a rate-limited cold rebuild of the
+// dead shard's device kind in its failure domain. A per-job retry
+// budget (ClusterConfig.Retry / Job.WithRetries) resolves transient
+// failures — a lost network crossing, a shard killed mid-flight
+// before its replacement landed — inside the cluster with
+// exponential backoff priced on the simulated clock, deadline-aware,
+// so callers only ever see errors that would recur. And scale-down
+// has a graceful path: Cluster.DrainShard retires a shard with zero
+// replay — queued work re-routes as-is, in-flight batches settle in
+// place, and device-resident graph outputs pre-copy to the host:
+//
+//	cl := xehe.NewCluster(params, kit,
+//		[]xehe.DeviceKind{xehe.Device1, xehe.Device1},
+//		xehe.ClusterConfig{
+//			SelfHeal: xehe.ToggleOn, Standbys: 1,
+//			Retry: xehe.RetryPolicy{MaxAttempts: 3},
+//		})
+//	cl.Faults().KillShard(0) // standby promoted before the backlog moves
+//	cl.DrainShard(1)         // graceful: zero replayed jobs
+//	st := cl.Stats()         // st.StandbyPromoted, st.Drained, st.RetryAttempts
+//
 // Faults live in the timing and routing plane only — payload bytes are
-// never corrupted — so every job that completes, re-routed or
-// replayed, is still bit-for-bit identical to the serial path (pinned
-// by the chaos differential suite in internal/sched).
+// never corrupted — so every job that completes, re-routed, replayed
+// or retried, is still bit-for-bit identical to the serial path
+// (pinned by the chaos differential suite in internal/sched). The one
+// exception that loses data, FaultPlane.FailHops, surfaces as an
+// explicit error (and is exactly what the retry budget absorbs).
 //
 // # Cross-job kernel fusion
 //
@@ -611,6 +637,28 @@ type ServiceConfig struct {
 	// wire-format submission, transfer payload and completion sync of
 	// that shard.
 	Nodes []NodeSpec
+	// SelfHeal enables the cluster's supervisor (Cluster only): a
+	// control loop that watches the health plane and automatically
+	// replaces killed shards — instantly, by promoting a pre-built warm
+	// shard from the standby pool (Standbys) when one is stocked, or by
+	// a rate-limited cold rebuild of the dead shard's device kind in
+	// its own failure domain. Default OFF (the fault plane then only
+	// reports; recovery is manual via AddShard).
+	SelfHeal Toggle
+	// Standbys sizes the supervisor's warm standby pool (Cluster only,
+	// requires SelfHeal): fully constructed, cache-warmed spare shards
+	// on fresh nodes, built at construction and restocked after each
+	// promotion, so replacing a killed shard is one routing-table
+	// append instead of a device build. Default 0 (cold repairs only).
+	Standbys int
+	// Retry is the per-job retry budget applied across the cluster
+	// (Cluster only): jobs that fail transiently — a lost network
+	// crossing (gpu link fault), a shard killed mid-flight before a
+	// replacement landed — re-execute on an open shard with exponential
+	// backoff priced on the simulated clock, instead of surfacing the
+	// error. Job.Retries overrides the budget per job. The zero value
+	// disables retries.
+	Retry RetryPolicy
 }
 
 func (sc ServiceConfig) schedConfig() sched.Config {
@@ -631,8 +679,22 @@ func (sc ServiceConfig) schedConfig() sched.Config {
 		WarmBuffers:   sc.WarmBuffers,
 		Core:          backend,
 		Trace:         sc.Trace,
+		SelfHeal:      sc.SelfHeal,
+		Standbys:      sc.Standbys,
+		Retry:         sc.Retry,
 	}
 }
+
+// RetryPolicy is the cluster-wide per-job retry budget
+// (ServiceConfig.Retry): MaxAttempts total execution attempts per job
+// (first run included; <= 1 disables retries), with exponential
+// backoff starting at Backoff simulated seconds (0 selects the
+// default) and doubling per attempt. Retries are deadline-aware — a
+// retry that could not start before the job's deadline is not
+// attempted and the caller sees the original error — and only
+// transient failures (link faults, shards lost mid-replacement) are
+// retried; deterministic errors fail immediately.
+type RetryPolicy = sched.RetryPolicy
 
 // Service evaluates independent HE jobs concurrently on one simulated
 // GPU: Submit from any goroutine, Wait on the returned Pending (or
@@ -771,10 +833,23 @@ func NewCluster(params *Parameters, kit *KeyKit, devs []DeviceKind, cc ClusterCo
 // remote backend when the node declares a network hop.
 func shardSpec(dev *gpu.Device, cfg sched.Config, node NodeSpec) sched.ShardSpec {
 	link := sched.NetLink{LatencySeconds: node.LatencyUS * 1e-6, GBps: node.GBps}
+	spec := dev.Spec // captured by value: a rebuild gets a fresh device of the same kind
 	if link.Local() {
-		return sched.ShardSpec{Backend: sched.NewDeviceBackend(dev, cfg.Core.MemCache), Node: node.Node}
+		return sched.ShardSpec{
+			Backend: sched.NewDeviceBackend(dev, cfg.Core.MemCache),
+			Node:    node.Node,
+			Rebuild: func() sched.Backend {
+				return sched.NewDeviceBackend(gpu.NewDevice(spec), cfg.Core.MemCache)
+			},
+		}
 	}
-	return sched.ShardSpec{Backend: sched.NewRemoteBackend(dev, cfg.Core.MemCache, node.Node, link), Node: node.Node}
+	return sched.ShardSpec{
+		Backend: sched.NewRemoteBackend(dev, cfg.Core.MemCache, node.Node, link),
+		Node:    node.Node,
+		Rebuild: func() sched.Backend {
+			return sched.NewRemoteBackend(gpu.NewDevice(spec), cfg.Core.MemCache, node.Node, link)
+		},
+	}
 }
 
 // AddShard grows the cluster at runtime with a fresh device of the
@@ -841,6 +916,19 @@ func (c *Cluster) Submit(job *Job) (*Pending, error) { return c.cl.Submit(job) }
 // is idempotent per shard; once every shard is retired, Submit
 // returns ErrNoShards.
 func (c *Cluster) CloseShard(i int) { c.cl.CloseShard(i) }
+
+// DrainShard gracefully retires shard i: it leaves the routing tables
+// immediately, its queued backlog re-routes to the open shards without
+// replay, its in-flight batches settle in place, and its
+// device-resident graph outputs are pre-copied to the host so
+// consumers on other shards (and late Wait calls) keep working — then
+// its scheduler tears down. Compare CloseShard (retire without the
+// resident pre-copy) and Faults().KillShard (fail-stop: in-flight work
+// is surrendered and replayed). Stats().Drained / Migrated count the
+// graceful hand-offs; a drain leaves Replayed untouched. Safe under
+// traffic, idempotent per shard, and a no-op for a shard that was
+// already fail-stopped.
+func (c *Cluster) DrainShard(i int) { c.cl.DrainShard(i) }
 
 // Wait blocks until every job submitted so far has completed on every
 // shard.
